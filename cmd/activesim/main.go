@@ -1,0 +1,140 @@
+// Command activesim runs the paper's experiments: every table and figure of
+// "Active I/O Switches in System Area Networks" (HPCA 2003) regenerated on
+// the simulator.
+//
+// Usage:
+//
+//	activesim -list
+//	activesim -run fig3              # one experiment at default scale
+//	activesim -run all -scale 8      # everything, problem sizes / 8
+//	activesim -run fig15 -scale 1    # full 128-node reduction sweep
+//
+// Scale divides the paper's problem sizes; 1 reproduces them exactly (the
+// database and sort workloads then simulate hundreds of megabytes and take
+// minutes of wall time). The default scale of 8 preserves every shape.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"activesan"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "experiment id to run, or \"all\"")
+	scale := flag.Int64("scale", 8, "problem-size divisor (1 = paper's full sizes)")
+	chart := flag.Bool("chart", false, "render ASCII bar charts after each result")
+	svgDir := flag.String("svg", "", "write an SVG figure per experiment into this directory")
+	jsonPath := flag.String("json", "", "write all results as JSON to this file")
+	mdPath := flag.String("md", "", "write a markdown report of all results to this file")
+	trace := flag.String("trace", "", "write a simulation event trace to this file")
+	traceLimit := flag.Int("tracelimit", 200000, "maximum trace lines")
+	flag.Parse()
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		defer func() {
+			w.Flush()
+			f.Close()
+		}()
+		lines := 0
+		activesan.SetTracer(func(t activesan.Time, msg string) {
+			if lines >= *traceLimit {
+				return
+			}
+			lines++
+			fmt.Fprintf(w, "%-14v %s\n", t, msg)
+		})
+	}
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range activesan.Experiments() {
+			fmt.Printf("  %-8s %-18s %s\n", e.ID, e.Paper, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: activesim -run <id> [-scale N]")
+		}
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range activesan.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	var collected []*activesan.Result
+	for _, id := range ids {
+		res, err := activesan.RunExperiment(id, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		collected = append(collected, res)
+		fmt.Print(res.Format())
+		for _, s := range activesan.Shapes(res) {
+			fmt.Printf("shape: %s\n", s)
+		}
+		if *chart {
+			fmt.Println()
+			fmt.Print(activesan.RenderASCII(res))
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := *svgDir + "/" + id + ".svg"
+			if err := os.WriteFile(path, activesan.RenderSVG(res), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+	if *mdPath != "" {
+		md := activesan.MarkdownReport("Active I/O Switches — experiment report", *scale, collected)
+		if dir := filepath.Dir(*mdPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *mdPath)
+	}
+	if *jsonPath != "" {
+		data, err := activesan.ResultJSON(collected)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if dir := filepath.Dir(*jsonPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

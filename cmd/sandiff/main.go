@@ -1,0 +1,53 @@
+// Command sandiff compares two result files produced by
+// `activesim -json`: the regression check when calibration constants or
+// hardware models change.
+//
+//	activesim -run all -json before.json
+//	... edit constants ...
+//	activesim -run all -json after.json
+//	sandiff before.json after.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"activesan/internal/report"
+	"activesan/internal/stats"
+)
+
+type resultFile struct {
+	Paper   string          `json:"paper"`
+	Results []*stats.Result `json:"results"`
+}
+
+func load(path string) ([]*stats.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f resultFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Results, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: sandiff before.json after.json")
+		os.Exit(2)
+	}
+	before, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	after, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(report.Compare(before, after))
+}

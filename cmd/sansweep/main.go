@@ -1,0 +1,109 @@
+// Command sansweep runs parameter sweeps beyond the paper's figures:
+// reduction latency over arbitrary node counts, MD5 over switch-CPU counts,
+// and parallel sort over node counts — the knobs a designer would turn when
+// sizing an active-switch system.
+//
+// Usage:
+//
+//	sansweep -sweep reduce -kind dist -nodes 2,4,8,16,32,64,128
+//	sansweep -sweep md5 -cpus 1,2,3,4
+//	sansweep -sweep sort -hosts 2,4,8 -records 262144
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"activesan/internal/ablation"
+	"activesan/internal/apps"
+	"activesan/internal/apps/md5app"
+	"activesan/internal/apps/psort"
+	"activesan/internal/apps/reduce"
+	"activesan/internal/apps/twolevel"
+)
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad list element %q\n", f)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	sweep := flag.String("sweep", "reduce", "what to sweep: reduce | md5 | sort | ablation | twolevel")
+	kind := flag.String("kind", "one", "reduction kind: one | dist | all")
+	nodes := flag.String("nodes", "2,4,8,16,32,64,128", "node counts for -sweep reduce")
+	cpus := flag.String("cpus", "1,2,3,4", "switch CPU counts for -sweep md5")
+	hosts := flag.String("hosts", "2,4,8", "host counts for -sweep sort")
+	records := flag.Int64("records", 1<<18, "total records for -sweep sort")
+	rounds := flag.Int("rounds", 0, "with -sweep reduce: pipeline this many back-to-back rounds")
+	flag.Parse()
+
+	switch *sweep {
+	case "ablation":
+		fmt.Print(ablation.Report())
+
+	case "twolevel":
+		res := twolevel.RunAll(twolevel.DefaultParams())
+		fmt.Print(res.Format())
+
+	case "reduce":
+		k := reduce.ToOne
+		switch *kind {
+		case "dist":
+			k = reduce.Distributed
+		case "all":
+			k = reduce.ToAll
+		}
+		if *rounds > 0 {
+			for _, p := range parseInts(*nodes) {
+				iso := reduce.Run(reduce.ToOne, true, p, reduce.DefaultParams()).Latency
+				r := reduce.RunPipelined(p, *rounds, reduce.DefaultParams())
+				fmt.Printf("p=%-4d rounds=%d total=%v per-round=%v isolated=%v correct=%v\n",
+					p, *rounds, r.Total, r.PerRound, iso, r.Correct)
+			}
+			return
+		}
+		res := reduce.Sweep(k, parseInts(*nodes), reduce.DefaultParams())
+		fmt.Print(res.Format())
+
+	case "md5":
+		prm := md5app.DefaultParams()
+		normal := md5app.Run(apps.Normal, 1, prm)
+		fmt.Printf("%-20s %v\n", "normal", normal.Time)
+		for _, c := range parseInts(*cpus) {
+			r := md5app.Run(apps.ActivePref, c, prm)
+			fmt.Printf("%-20s %v  speedup %.2f\n", r.Config, r.Time,
+				float64(normal.Time)/float64(r.Time))
+		}
+
+	case "sort":
+		for _, hcount := range parseInts(*hosts) {
+			prm := psort.DefaultParams()
+			prm.Hosts = hcount
+			prm.Records = *records
+			n := psort.Run(apps.NormalPref, prm)
+			a := psort.Run(apps.ActivePref, prm)
+			limit := float64(hcount) / float64(3*hcount-2)
+			fmt.Printf("p=%-3d normal=%v active=%v traffic-ratio=%.3f (limit %.3f)\n",
+				hcount, n.Time, a.Time, float64(a.Traffic)/float64(n.Traffic), limit)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+		os.Exit(1)
+	}
+}

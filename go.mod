@@ -1,0 +1,3 @@
+module activesan
+
+go 1.22

@@ -1,0 +1,126 @@
+package grep
+
+// MultiDFA is an Aho-Corasick automaton over byte strings: the multi-pattern
+// generalization of the single-pattern DFA (GNU grep's -e flag). It is built
+// as a goto trie with BFS failure links, then flattened into a dense
+// transition table so scanning is one table lookup per byte — the same cost
+// model as the single-pattern scanner.
+type MultiDFA struct {
+	next [][256]int32
+	// out[s] is true when state s completes at least one pattern.
+	out []bool
+	// patterns keeps the originals for reporting.
+	patterns []string
+}
+
+// BuildMultiDFA constructs the automaton; empty patterns are ignored.
+func BuildMultiDFA(patterns []string) *MultiDFA {
+	d := &MultiDFA{}
+	d.next = append(d.next, [256]int32{}) // root
+	d.out = append(d.out, false)
+
+	// Phase 1: goto trie.
+	type edge struct {
+		from int32
+		c    byte
+	}
+	children := make(map[edge]int32)
+	for _, pat := range patterns {
+		if pat == "" {
+			continue
+		}
+		d.patterns = append(d.patterns, pat)
+		s := int32(0)
+		for i := 0; i < len(pat); i++ {
+			c := pat[i]
+			if t, ok := children[edge{s, c}]; ok {
+				s = t
+				continue
+			}
+			t := int32(len(d.next))
+			d.next = append(d.next, [256]int32{})
+			d.out = append(d.out, false)
+			children[edge{s, c}] = t
+			s = t
+		}
+		d.out[s] = true
+	}
+
+	// Phase 2: BFS failure links folded into a dense table.
+	fail := make([]int32, len(d.next))
+	var queue []int32
+	for c := 0; c < 256; c++ {
+		if t, ok := children[edge{0, byte(c)}]; ok {
+			d.next[0][c] = t
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for c := 0; c < 256; c++ {
+			t, ok := children[edge{s, byte(c)}]
+			if !ok {
+				d.next[s][c] = d.next[fail[s]][c]
+				continue
+			}
+			fail[t] = d.next[fail[s]][c]
+			if d.out[fail[t]] {
+				d.out[t] = true
+			}
+			d.next[s][c] = t
+			queue = append(queue, t)
+		}
+	}
+	return d
+}
+
+// States reports the automaton size (for cost accounting and tests).
+func (d *MultiDFA) States() int { return len(d.next) }
+
+// MultiScanner streams bytes through a MultiDFA, collecting lines that
+// match any pattern, like the single-pattern Scanner.
+type MultiScanner struct {
+	d     *MultiDFA
+	state int32
+	line  []byte
+	hit   bool
+	// Lines collects each matched line.
+	Lines [][]byte
+}
+
+// NewMultiScanner starts a stream scan.
+func NewMultiScanner(d *MultiDFA) *MultiScanner { return &MultiScanner{d: d} }
+
+// Feed consumes the next chunk of the stream.
+func (s *MultiScanner) Feed(data []byte) {
+	for _, b := range data {
+		if b == '\n' {
+			if s.hit {
+				line := make([]byte, len(s.line))
+				copy(line, s.line)
+				s.Lines = append(s.Lines, line)
+			}
+			s.line = s.line[:0]
+			s.hit = false
+			s.state = 0
+			continue
+		}
+		s.line = append(s.line, b)
+		s.state = s.d.next[s.state][b]
+		if s.d.out[s.state] {
+			s.hit = true
+		}
+	}
+}
+
+// Flush terminates the final (unterminated) line.
+func (s *MultiScanner) Flush() {
+	if s.hit {
+		line := make([]byte, len(s.line))
+		copy(line, s.line)
+		s.Lines = append(s.Lines, line)
+	}
+	s.line = nil
+	s.hit = false
+}

@@ -1,0 +1,119 @@
+package grep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"activesan/internal/apps"
+)
+
+func TestMultiDFATwoPatterns(t *testing.T) {
+	d := BuildMultiDFA([]string{"cat", "dog"})
+	s := NewMultiScanner(d)
+	s.Feed([]byte("the cat sat\nno match here\na dog barked\ncatdog\n"))
+	s.Flush()
+	if len(s.Lines) != 3 {
+		t.Fatalf("matched %d lines, want 3: %q", len(s.Lines), s.Lines)
+	}
+}
+
+func TestMultiDFAOverlappingPatterns(t *testing.T) {
+	// "he", "she", "his", "hers" — the classic Aho-Corasick example where
+	// failure links matter: "she" contains "he".
+	d := BuildMultiDFA([]string{"he", "she", "his", "hers"})
+	s := NewMultiScanner(d)
+	s.Feed([]byte("ushers\nxyz\nhistory\n"))
+	s.Flush()
+	if len(s.Lines) != 2 {
+		t.Fatalf("matched %d lines, want 2: %q", len(s.Lines), s.Lines)
+	}
+	if string(s.Lines[0]) != "ushers" || string(s.Lines[1]) != "history" {
+		t.Fatalf("lines = %q", s.Lines)
+	}
+}
+
+func TestMultiDFASplitFeeds(t *testing.T) {
+	d := BuildMultiDFA([]string{"Big Red Bear"})
+	s := NewMultiScanner(d)
+	s.Feed([]byte("xx Big R"))
+	s.Feed([]byte("ed Bear yy\n"))
+	s.Flush()
+	if len(s.Lines) != 1 {
+		t.Fatalf("split feed matched %d lines", len(s.Lines))
+	}
+}
+
+func TestMultiDFAEmptyPatternsIgnored(t *testing.T) {
+	d := BuildMultiDFA([]string{"", "abc", ""})
+	if d.States() < 4 {
+		t.Fatalf("states = %d", d.States())
+	}
+	s := NewMultiScanner(d)
+	s.Feed([]byte("abc\n\n"))
+	s.Flush()
+	if len(s.Lines) != 1 {
+		t.Fatalf("matched %d lines, want 1 (empty patterns must not match everything)", len(s.Lines))
+	}
+}
+
+func TestMultiDFAAgreesWithSinglePatternDFA(t *testing.T) {
+	// Property: for one pattern, MultiDFA and the KMP DFA find exactly the
+	// same lines on arbitrary lowercase corpora.
+	f := func(raw []byte, pat uint8) bool {
+		// Corpus: lowercase with newlines; pattern: 2-4 letters.
+		corpus := make([]byte, len(raw))
+		for i, b := range raw {
+			if b%17 == 0 {
+				corpus[i] = '\n'
+			} else {
+				corpus[i] = 'a' + b%4
+			}
+		}
+		pattern := []string{"ab", "aba", "bba", "abab"}[pat%4]
+		m := NewMultiScanner(BuildMultiDFA([]string{pattern}))
+		m.Feed(corpus)
+		m.Flush()
+		k := NewScanner(BuildDFA(pattern))
+		k.Feed(corpus)
+		k.Flush()
+		if len(m.Lines) != len(k.Lines) {
+			return false
+		}
+		for i := range m.Lines {
+			if !bytes.Equal(m.Lines[i], k.Lines[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPatternBenchmarkRun(t *testing.T) {
+	// Run the full grep benchmark with two patterns: the planted pattern
+	// plus one that cannot occur; the match count must be unchanged, and
+	// a lowercase pattern that does occur must add lines.
+	prm := DefaultParams()
+	prm.Patterns = []string{prm.Pattern, "NO SUCH STRING"}
+	run := Run(apps.ActivePref, prm)
+	if got := run.Extra["matches"]; got != prm.Matches {
+		t.Fatalf("two-pattern matches = %v, want %d", got, prm.Matches)
+	}
+	corpus := BuildCorpus(DefaultParams())
+	extra := "aa" // occurs all over the lowercase corpus
+	wantLines := 0
+	for _, line := range strings.Split(string(corpus), "\n") {
+		if strings.Contains(line, DefaultParams().Pattern) || strings.Contains(line, extra) {
+			wantLines++
+		}
+	}
+	prm.Patterns = []string{prm.Pattern, extra}
+	run = Run(apps.Normal, prm)
+	if got := run.Extra["matches"]; got != wantLines {
+		t.Fatalf("matches with extra pattern = %v, want %d", got, wantLines)
+	}
+}

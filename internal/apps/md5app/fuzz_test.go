@@ -1,0 +1,27 @@
+package md5app
+
+import (
+	cryptomd5 "crypto/md5"
+	"testing"
+)
+
+// FuzzMD5 cross-validates the from-scratch digest against the standard
+// library on arbitrary input and arbitrary write splits.
+func FuzzMD5(f *testing.F) {
+	f.Add([]byte(""), uint16(0))
+	f.Add([]byte("abc"), uint16(1))
+	f.Add(make([]byte, 64), uint16(63))
+	f.Add(make([]byte, 200), uint16(64))
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		c := int(cut)
+		if c > len(data) {
+			c = len(data)
+		}
+		d := New()
+		d.Write(data[:c])
+		d.Write(data[c:])
+		if d.Sum() != cryptomd5.Sum(data) {
+			t.Fatalf("digest mismatch for %d bytes split at %d", len(data), c)
+		}
+	})
+}

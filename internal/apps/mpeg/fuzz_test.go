@@ -1,0 +1,36 @@
+package mpeg
+
+import "testing"
+
+// FuzzFilter throws arbitrary bytes at the streaming frame filter: it must
+// never panic or emit non-I frames, whatever the input framing.
+func FuzzFilter(f *testing.F) {
+	prm := DefaultParams()
+	prm.FileSize = 4096
+	f.Add(BuildStream(prm))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 'I', 9, 0, 0, 0, 42})
+	f.Add([]byte{0, 0, 1, 'P', 255, 255, 255, 255})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flt := &filter{Out: func(frame []byte) {
+			if len(frame) < headerLen || frame[3] != typeI {
+				t.Fatalf("filter emitted a bad frame: %v", frame[:min(len(frame), 8)])
+			}
+		}}
+		// Feed in two arbitrary pieces to exercise split headers.
+		cut := len(data) / 3
+		flt.Feed(data[:cut])
+		flt.Feed(data[cut:])
+		if flt.IBytes < 0 || flt.PBytes < 0 {
+			t.Fatal("negative byte accounting")
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package mpeg
+
+import (
+	"testing"
+
+	"activesan/internal/apps"
+)
+
+func TestStreamComposition(t *testing.T) {
+	prm := DefaultParams()
+	s := BuildStream(prm)
+	if int64(len(s)) != prm.FileSize {
+		t.Fatalf("stream is %d bytes, want %d", len(s), prm.FileSize)
+	}
+	p := PBytes(s)
+	frac := float64(p) / float64(prm.FileSize)
+	// Paper: "About 63.5% of the total data are P-type frames."
+	if frac < 0.61 || frac > 0.66 {
+		t.Fatalf("P-frame fraction = %.3f, want ~0.635", frac)
+	}
+}
+
+func TestFilterKeepsOnlyIFrames(t *testing.T) {
+	prm := DefaultParams()
+	s := BuildStream(prm)
+	var kept [][]byte
+	f := &filter{Out: func(fr []byte) {
+		cp := make([]byte, len(fr))
+		copy(cp, fr)
+		kept = append(kept, cp)
+	}}
+	// Feed in awkward chunk sizes to exercise header/frame splits.
+	for off := 0; off < len(s); off += 777 {
+		end := off + 777
+		if end > len(s) {
+			end = len(s)
+		}
+		f.Feed(s[off:end])
+	}
+	var wantI int64
+	wantFrames := 0
+	ForEachFrame(s, func(tb byte, frame []byte) {
+		if tb == typeI {
+			wantI += int64(len(frame))
+			wantFrames++
+		}
+	})
+	if f.IBytes != wantI {
+		t.Fatalf("filter kept %d I-bytes, want %d", f.IBytes, wantI)
+	}
+	if len(kept) != wantFrames {
+		t.Fatalf("filter emitted %d frames, want %d", len(kept), wantFrames)
+	}
+	for _, fr := range kept {
+		if fr[3] != typeI {
+			t.Fatal("filter emitted a non-I frame")
+		}
+	}
+}
+
+func TestAllConfigsProduceSameOutput(t *testing.T) {
+	prm := DefaultParams()
+	var firstSum string
+	var firstBytes int64
+	for i, cfg := range apps.AllConfigs {
+		run := Run(cfg, prm)
+		sum := run.Extra["checksum"].(string)
+		ib := run.Extra["iBytes"].(int64)
+		rep := run.Extra["reported"].(int64)
+		if ib != rep {
+			t.Errorf("%s: processed %d I-bytes but filter reported %d", cfg, ib, rep)
+		}
+		if i == 0 {
+			firstSum, firstBytes = sum, ib
+			continue
+		}
+		if sum != firstSum || ib != firstBytes {
+			t.Errorf("%s: output (%d bytes, %s) differs from normal (%d, %s)",
+				cfg, ib, sum, firstBytes, firstSum)
+		}
+	}
+}
+
+func TestShapeMPEG(t *testing.T) {
+	// Paper Figure 3: normal < normal+pref < active < active+pref in speed;
+	// active cuts the data sent to the host by the P-frame fraction; the
+	// switch CPU is almost fully utilized (balanced pipeline).
+	res := RunAll(DefaultParams())
+	normal := res.Baseline()
+	np, _ := res.Run("normal+pref")
+	a, _ := res.Run("active")
+	ap, _ := res.Run("active+pref")
+
+	if !(np.Time < normal.Time) {
+		t.Errorf("normal+pref (%v) not faster than normal (%v)", np.Time, normal.Time)
+	}
+	if !(a.Time < normal.Time) {
+		t.Errorf("active (%v) not faster than normal (%v)", a.Time, normal.Time)
+	}
+	if !(ap.Time < np.Time) {
+		t.Errorf("active+pref (%v) not faster than normal+pref (%v)", ap.Time, np.Time)
+	}
+	if s := res.Speedup("active"); s < 1.1 || s > 1.45 {
+		t.Errorf("active speedup = %.2f, want in [1.1, 1.45] (paper: 1.23)", s)
+	}
+	// Data to the host shrinks by roughly the P fraction.
+	ratio := float64(a.Traffic) / float64(normal.Traffic)
+	if ratio < 0.3 || ratio > 0.45 {
+		t.Errorf("active traffic ratio = %.3f, want ~0.365", ratio)
+	}
+	// Balanced pipeline: switch utilization is high in the active cases.
+	if ap.SwitchUtil() < 0.6 {
+		t.Errorf("switch util = %.2f, want high (balanced pipeline)", ap.SwitchUtil())
+	}
+}
+
+func TestGOPShapeChangesTraffic(t *testing.T) {
+	// More P-frames per GOP means fewer bytes reach the host in the active
+	// case; the measured ratio must follow the generated fraction.
+	for _, pPerGOP := range []int{3, 11} {
+		prm := DefaultParams()
+		prm.FileSize = 512 * 1024
+		prm.PPerGOP = pPerGOP
+		stream := BuildStream(prm)
+		iFrac := 1 - float64(PBytes(stream))/float64(len(stream))
+		run := Run(apps.Active, prm)
+		normal := Run(apps.Normal, prm)
+		ratio := float64(run.Traffic) / float64(normal.Traffic)
+		if ratio < iFrac-0.05 || ratio > iFrac+0.05 {
+			t.Errorf("PPerGOP=%d: traffic ratio %.3f, want ~%.3f (I fraction)", pPerGOP, ratio, iFrac)
+		}
+	}
+}
+
+func TestBFramesFilteredToo(t *testing.T) {
+	// The paper: "all B-type and P-type frames are filtered out, leaving
+	// only I-type frames". Generate a stream with B-frames and check the
+	// filter's output still holds only I frames with matching checksums in
+	// normal and active runs.
+	prm := DefaultParams()
+	prm.FileSize = 512 * 1024
+	prm.PPerGOP = 2
+	prm.BPerP = 2
+	prm.BFrame = 1024
+	stream := BuildStream(prm)
+	sawB := false
+	ForEachFrame(stream, func(tb byte, _ []byte) {
+		if tb == typeB {
+			sawB = true
+		}
+	})
+	if !sawB {
+		t.Fatal("generator emitted no B-frames")
+	}
+	n := Run(apps.Normal, prm)
+	a := Run(apps.ActivePref, prm)
+	if n.Extra["checksum"] != a.Extra["checksum"] {
+		t.Fatal("B-frame streams filtered differently on host and switch")
+	}
+	if n.Extra["iBytes"].(int64) <= 0 {
+		t.Fatal("no I bytes survived")
+	}
+}
+
+func TestFilterStopsAtPadding(t *testing.T) {
+	// Zero padding after the last whole frame must end parsing cleanly.
+	prm := DefaultParams()
+	prm.FileSize = 10000 // forces a trimmed tail
+	s := BuildStream(prm)
+	f := &filter{Out: func([]byte) {}}
+	f.Feed(s)
+	if f.IBytes+f.PBytes > prm.FileSize {
+		t.Fatalf("filter accounted %d bytes of a %d-byte stream", f.IBytes+f.PBytes, prm.FileSize)
+	}
+	// Garbage-only input parses zero frames.
+	g := &filter{Out: func([]byte) { t.Fatal("frame from garbage") }}
+	g.Feed(make([]byte, 100))
+	if g.IBytes != 0 || g.PBytes != 0 {
+		t.Fatal("garbage produced frame bytes")
+	}
+}

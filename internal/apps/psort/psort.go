@@ -1,0 +1,443 @@
+// Package psort reproduces the paper's Parallel Sort benchmark: the
+// distribution phase of a one-pass parallel sort of 16M Datamation records
+// (100 bytes, 10-byte keys) over 4 nodes with a uniform key distribution.
+// Each node reads its quarter of the data and redistributes records by key
+// range; in the active cases the switch handler redistributes the records
+// as they stream off the disks, so each node receives only the records
+// assigned to it — per-node traffic falls to p/(3p-2) of normal (40% at
+// p=4), the paper's Figure 13 headline.
+package psort
+
+import (
+	"fmt"
+	"sort"
+
+	"activesan/internal/apps"
+	"activesan/internal/aswitch"
+	"activesan/internal/cache"
+	"activesan/internal/cluster"
+	"activesan/internal/host"
+	"activesan/internal/iodev"
+	"activesan/internal/san"
+	"activesan/internal/sim"
+	"activesan/internal/stats"
+)
+
+// Params sizes the workload and calibrates costs.
+type Params struct {
+	// Records is the total record count across all nodes (paper: 16M).
+	Records int64
+	// RecordSize and KeySize follow the Datamation benchmark.
+	RecordSize int64
+	KeySize    int64
+	// Hosts is the node count p.
+	Hosts int
+	// ChunkSize is the disk request size; BatchSize is the redistribution
+	// message size.
+	ChunkSize   int64
+	ActiveChunk int64
+	BatchSize   int64
+
+	// HostDistInstr is the host's per-record cost to classify and pack.
+	HostDistInstr int64
+	// HostRecvInstr is the per-record cost at the receiving node.
+	HostRecvInstr int64
+	// SwitchDistCycles is the switch CPU's per-record classify cost.
+	SwitchDistCycles int64
+
+	// LocalSort enables the paper's second phase ("each node sorts its
+	// local data using any sorting algorithm"), which the paper leaves out
+	// of its figures because it is identical in both cases. When set,
+	// batches carry the real keys and every node sorts what it received.
+	LocalSort bool
+	// SortInstrPerCmp is the per-comparison cost of the local sort.
+	SortInstrPerCmp int64
+}
+
+// DefaultParams returns the paper's workload.
+func DefaultParams() Params {
+	return Params{
+		Records:          16 << 20,
+		RecordSize:       100,
+		KeySize:          10,
+		Hosts:            4,
+		ChunkSize:        64 * 1024,
+		ActiveChunk:      1 << 20,
+		BatchSize:        32 * 1024,
+		HostDistInstr:    24,
+		HostRecvInstr:    8,
+		SwitchDistCycles: 24,
+		SortInstrPerCmp:  8,
+	}
+}
+
+// Key derives record i's 10-byte key (top 64 bits; uniform).
+func Key(i int64) uint64 { return apps.Mix64(uint64(i) | 5<<40) }
+
+// Dest maps a key to its destination node by range partitioning.
+func Dest(key uint64, p int) int {
+	return int(uint64(p) * (key >> 32) >> 32)
+}
+
+// Batch is one redistribution message's functional content: how many
+// records it carries and a checksum of their keys (so the full 1.6 GB never
+// needs materializing while the distribution is still verified end to end).
+type Batch struct {
+	Count  int64
+	KeySum uint64
+	End    bool
+	From   int
+	// Keys carries the actual key values when the local-sort phase is
+	// enabled.
+	Keys []uint64
+}
+
+// Oracle computes each destination's expected record count and key sum.
+func (prm Params) Oracle() (counts []int64, sums []uint64) {
+	counts = make([]int64, prm.Hosts)
+	sums = make([]uint64, prm.Hosts)
+	for i := int64(0); i < prm.Records; i++ {
+		k := Key(i)
+		d := Dest(k, prm.Hosts)
+		counts[d]++
+		sums[d] += k
+	}
+	return counts, sums
+}
+
+// recordsIn returns the index range [lo, hi) of records whose start byte
+// lies within partition bytes [a, b) of node j's partition.
+func recordsIn(prm Params, j int, a, b int64) (lo, hi int64) {
+	perNode := prm.Records / int64(prm.Hosts)
+	base := int64(j) * perNode
+	lo = base + (a+prm.RecordSize-1)/prm.RecordSize
+	hi = base + (b+prm.RecordSize-1)/prm.RecordSize
+	max := base + perNode
+	if hi > max {
+		hi = max
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// debugSort enables handler progress traces.
+var debugSort = false
+
+// SetDebug toggles tracing.
+func SetDebug(v bool) { debugSort = v }
+
+const handlerID = 15
+
+const (
+	argBase    = 0x0000_0000
+	distFlow   = 0x7040
+	doneFlow   = 0x7041
+	recvAddr   = 0x0600_0000
+	streamSpan = 0x2000_0000 // 512 MB of mapped space per input stream
+	streamOrg  = 0x1000_0000
+)
+
+func streamBase(j int) int64 { return streamOrg + int64(j)*streamSpan }
+
+type sortArgs struct {
+	PerNodeBytes int64
+	Hosts        int
+	BatchSize    int64
+	HostIDs      []san.NodeID
+	Initiator    san.NodeID
+}
+
+// Run executes one configuration.
+func Run(cfg apps.Config, prm Params) stats.Run {
+	perNode := prm.Records / int64(prm.Hosts)
+	perNodeBytes := perNode * prm.RecordSize
+
+	eng := sim.NewEngine()
+	ccfg := cluster.DefaultIOClusterConfig()
+	ccfg.Hosts = prm.Hosts
+	ccfg.Stores = prm.Hosts
+	ccfg.Switch = aswitch.DefaultConfig(2 * prm.Hosts)
+	c := cluster.NewIOCluster(eng, ccfg)
+	for j := 0; j < prm.Hosts; j++ {
+		c.Store(j).AddFile(&iodev.File{Name: "part", Size: perNodeBytes})
+	}
+
+	hostIDs := make([]san.NodeID, prm.Hosts)
+	for j := range hostIDs {
+		hostIDs[j] = c.Host(j).ID()
+	}
+
+	sw := c.Switch(0)
+	if cfg.IsActive() {
+		sw.Register(handlerID, "psort", func(x *aswitch.Ctx) {
+			args := x.Args().(sortArgs)
+			x.ReleaseArgs()
+			total := args.PerNodeBytes * int64(args.Hosts)
+			batches := make([]Batch, args.Hosts)
+			var bytesOut []int64 = make([]int64, args.Hosts)
+			flush := func(d int) {
+				if batches[d].Count == 0 {
+					return
+				}
+				b := batches[d]
+				b.From = -1 // from the switch
+				x.Send(aswitch.SendSpec{
+					Dst: args.HostIDs[d], Type: san.Data, Addr: recvAddr,
+					Size: b.Count * prm.RecordSize, Flow: distFlow, Payload: b,
+				})
+				batches[d] = Batch{}
+				bytesOut[d] = 0
+			}
+			var consumed int64
+			for consumed < total {
+				if debugSort {
+					fmt.Printf("[psort] consumed=%d/%d at %v\n", consumed, total, x.Now())
+				}
+				b := x.NextArrival()
+				if debugSort {
+					fmt.Printf("[psort] got buf addr=%#x size=%d\n", b.Addr(), b.Size())
+				}
+				x.ReadAll(b)
+				// Which stream (node) does this buffer belong to?
+				j := int((b.Addr() - streamOrg) / streamSpan)
+				off := b.Addr() - streamBase(j)
+				lo, hi := recordsIn(prm, j, off, off+b.Size())
+				for i := lo; i < hi; i++ {
+					k := Key(i)
+					d := Dest(k, args.Hosts)
+					x.Compute(prm.SwitchDistCycles)
+					batches[d].Count++
+					batches[d].KeySum += k
+					if prm.LocalSort {
+						batches[d].Keys = append(batches[d].Keys, k)
+					}
+					bytesOut[d] += prm.RecordSize
+					if bytesOut[d] >= args.BatchSize {
+						if debugSort {
+							fmt.Printf("[psort] flush dest=%d count=%d\n", d, batches[d].Count)
+						}
+						flush(d)
+					}
+				}
+				consumed += b.Size()
+				x.DeallocateBuf(b)
+			}
+			for d := 0; d < args.Hosts; d++ {
+				flush(d)
+				x.Send(aswitch.SendSpec{
+					Dst: args.HostIDs[d], Type: san.Data, Addr: recvAddr,
+					Size: 64, Flow: distFlow, Payload: Batch{End: true, From: -1},
+				})
+			}
+			x.Send(aswitch.SendSpec{
+				Dst: args.Initiator, Type: san.Control, Addr: argBase,
+				Size: 8, Flow: doneFlow,
+			})
+		})
+	}
+	c.Start()
+
+	counts := make([]int64, prm.Hosts)
+	sums := make([]uint64, prm.Hosts)
+	var wg sim.WaitGroup
+	wg.Add(prm.Hosts)
+
+	for j := 0; j < prm.Hosts; j++ {
+		j := j
+		h := c.Host(j)
+		eng.Spawn(fmt.Sprintf("sort-h%d", j), func(p *sim.Proc) {
+			defer wg.Done()
+			if cfg.IsActive() {
+				runActiveNode(p, c, h, j, cfg, prm, hostIDs, &counts[j], &sums[j])
+			} else {
+				runNormalNode(p, c, h, j, cfg, prm, hostIDs, &counts[j], &sums[j])
+			}
+		})
+	}
+
+	var end sim.Time
+	eng.Spawn("sort-main", func(p *sim.Proc) {
+		wg.Wait(p)
+		end = p.Now()
+	})
+	eng.Run()
+	if debugSort {
+		fmt.Printf("[psort] post-run: dbaInUse=%d atbLive=%d pending=%d\n",
+			sw.DBA().InUse(), sw.CPU(0).ATB().Live(), sw.CPU(0).PendingArrivals())
+	}
+	run := apps.Collect(cfg, c, end, map[string]any{
+		"counts": append([]int64(nil), counts...),
+		"sums":   append([]uint64(nil), sums...),
+	})
+	c.Shutdown()
+	return run
+}
+
+// runNormalNode reads the local partition and redistributes record batches
+// to their destination hosts, then drains incoming batches.
+func runNormalNode(p *sim.Proc, c *cluster.Cluster, h *host.Host, j int,
+	cfg apps.Config, prm Params, hostIDs []san.NodeID, count *int64, sum *uint64) {
+	perNode := prm.Records / int64(prm.Hosts)
+	perNodeBytes := perNode * prm.RecordSize
+	batches := make([]Batch, prm.Hosts)
+	bytesOut := make([]int64, prm.Hosts)
+	buf := h.Space().Alloc(prm.ChunkSize, 4096)
+
+	var localKeys []uint64
+	flush := func(d int) {
+		if batches[d].Count == 0 {
+			return
+		}
+		b := batches[d]
+		b.From = j
+		size := b.Count * prm.RecordSize
+		if d == j {
+			// Local records stay: count them directly.
+			*count += b.Count
+			*sum += b.KeySum
+			if prm.LocalSort {
+				localKeys = append(localKeys, b.Keys...)
+			}
+		} else {
+			h.SendMessage(p, &san.Message{
+				Hdr:     san.Header{Dst: hostIDs[d], Type: san.Data, Addr: recvAddr, Flow: distFlow + int64(j)},
+				Size:    size,
+				Payload: b,
+			}, buf)
+		}
+		batches[d] = Batch{}
+		bytesOut[d] = 0
+	}
+
+	apps.StreamChunks(p, h, c.Store(j).ID(), "part", perNodeBytes, prm.ChunkSize, buf,
+		cfg.Outstanding(), func(off, n int64, _ []any) {
+			lo, hi := recordsIn(prm, j, off, off+n)
+			for i := lo; i < hi; i++ {
+				rel := i - int64(j)*perNode
+				h.CPU().Load(p, buf+(rel%(prm.ChunkSize/prm.RecordSize))*prm.RecordSize)
+				h.CPU().Compute(p, prm.HostDistInstr)
+				k := Key(i)
+				d := Dest(k, prm.Hosts)
+				batches[d].Count++
+				batches[d].KeySum += k
+				if prm.LocalSort {
+					batches[d].Keys = append(batches[d].Keys, k)
+				}
+				bytesOut[d] += prm.RecordSize
+				if bytesOut[d] >= prm.BatchSize {
+					flush(d)
+				}
+			}
+		})
+	for d := 0; d < prm.Hosts; d++ {
+		flush(d)
+		if d != j {
+			h.SendMessage(p, &san.Message{
+				Hdr:     san.Header{Dst: hostIDs[d], Type: san.Data, Addr: recvAddr, Flow: distFlow + int64(j)},
+				Size:    64,
+				Payload: Batch{End: true, From: j},
+			}, buf)
+		}
+	}
+	var keys []uint64
+	if prm.LocalSort {
+		keys = append(keys, localKeys...)
+	}
+	drainIncoming(p, h, prm, prm.Hosts-1, count, sum, &keys)
+	if prm.LocalSort {
+		if !localSort(p, h, prm, keys) {
+			panic("psort: local sort produced unsorted keys")
+		}
+	}
+}
+
+// runActiveNode streams the local partition at the switch; node 0 also owns
+// the handler invocation. Every node then drains its assigned records.
+func runActiveNode(p *sim.Proc, c *cluster.Cluster, h *host.Host, j int,
+	cfg apps.Config, prm Params, hostIDs []san.NodeID, count *int64, sum *uint64) {
+	perNodeBytes := (prm.Records / int64(prm.Hosts)) * prm.RecordSize
+	sw := c.Switch(0)
+	if j == 0 {
+		h.SendMessage(p, &san.Message{
+			Hdr:  san.Header{Dst: sw.ID(), Type: san.ActiveMsg, HandlerID: handlerID, Addr: argBase},
+			Size: 64,
+			Payload: sortArgs{
+				PerNodeBytes: perNodeBytes, Hosts: prm.Hosts,
+				BatchSize: prm.BatchSize, HostIDs: hostIDs, Initiator: h.ID(),
+			},
+		}, 0)
+	}
+	apps.StreamToSwitch(p, h, c.Store(j).ID(), "part", perNodeBytes, prm.ActiveChunk,
+		sw.ID(), streamBase(j), 0, 0x6040+int64(j), cfg.Outstanding())
+	// One "end" batch arrives from the switch.
+	var keys []uint64
+	drainIncoming(p, h, prm, 1, count, sum, &keys)
+	if prm.LocalSort {
+		if !localSort(p, h, prm, keys) {
+			panic("psort: local sort produced unsorted keys")
+		}
+	}
+	if j == 0 {
+		h.RecvFlow(p, sw.ID(), doneFlow)
+	}
+}
+
+// drainIncoming consumes redistribution batches until the expected number
+// of End markers arrive, collecting keys when the local-sort phase is on.
+func drainIncoming(p *sim.Proc, h *host.Host, prm Params, ends int, count *int64, sum *uint64, keys *[]uint64) {
+	for ends > 0 {
+		comp := h.RecvAny(p)
+		b, ok := comp.Payloads[0].(Batch)
+		if !ok {
+			continue
+		}
+		if b.End {
+			ends--
+			continue
+		}
+		*count += b.Count
+		*sum += b.KeySum
+		if prm.LocalSort && keys != nil {
+			*keys = append(*keys, b.Keys...)
+		}
+		h.CPU().Compute(p, prm.HostRecvInstr*b.Count)
+	}
+}
+
+// localSort runs the paper's second phase on one node: a real sort of the
+// received keys, charged as n log2 n comparisons plus the merge passes'
+// memory traffic. It reports whether the result is sorted.
+func localSort(p *sim.Proc, h *host.Host, prm Params, keys []uint64) bool {
+	n := int64(len(keys))
+	if n == 0 {
+		return true
+	}
+	logN := int64(1)
+	for v := n; v > 1; v >>= 1 {
+		logN++
+	}
+	region := h.Space().AllocRegion(n*8, 4096)
+	h.CPU().Compute(p, prm.SortInstrPerCmp*n*logN)
+	for pass := int64(0); pass < logN; pass++ {
+		h.CPU().TouchRange(p, region.Base, region.Len, cache.Load)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunAll executes the four configurations (paper Figures 13/14).
+func RunAll(prm Params) *stats.Result {
+	res := &stats.Result{ID: "fig13", Title: "Parallel sort (distribution phase): time, host utilization, per-host traffic"}
+	for _, cfg := range apps.AllConfigs {
+		res.Runs = append(res.Runs, Run(cfg, prm))
+	}
+	res.Bars = apps.StandardBars(res, 1)
+	return res
+}

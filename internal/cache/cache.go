@@ -1,0 +1,185 @@
+// Package cache models set-associative write-back caches and TLBs with LRU
+// replacement, plus the host's two-level hierarchy over the RDRAM model.
+// Benchmarks issue representative address streams through these models; the
+// resulting hit/miss behaviour drives the cache-stall components of the
+// paper's execution-time breakdowns.
+package cache
+
+import "fmt"
+
+// Config describes one cache array.
+type Config struct {
+	Name     string
+	Size     int64 // total bytes
+	LineSize int64 // bytes per line
+	Assoc    int   // ways per set
+}
+
+func (c Config) sets() int64 {
+	return c.Size / (c.LineSize * int64(c.Assoc))
+}
+
+func (c Config) validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("cache %q: size, line size and associativity must be positive", c.Name)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	n := c.sets()
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("cache %q: %d sets (size/line/assoc must give a power of two)", c.Name, n)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	lru   int64 // higher = more recently used
+}
+
+// Cache is a single set-associative array. It models tags only — data
+// contents live in the benchmark's own Go values.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask int64
+	shift   uint
+	tick    int64
+	stats   Stats
+}
+
+// New builds a cache; invalid geometry panics (experiment-setup error).
+func New(cfg Config) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.sets()
+	sets := make([][]line, n)
+	ways := make([]line, n*int64(cfg.Assoc))
+	for i := range sets {
+		sets[i], ways = ways[:cfg.Assoc:cfg.Assoc], ways[cfg.Assoc:]
+	}
+	shift := uint(0)
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: n - 1, shift: shift}
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr int64) (set int64, tag int64) {
+	lineAddr := addr >> c.shift
+	return lineAddr & c.setMask, lineAddr >> 0 // tag keeps full line address; simpler and unambiguous
+}
+
+// Access looks up addr, allocating the line on a miss. It returns whether
+// the access hit and, on miss, whether a dirty victim was written back.
+// write marks the line dirty.
+func (c *Cache) Access(addr int64, write bool) (hit bool, writeback bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.tick++
+	c.stats.Accesses++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return true, false
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid way, else least recently used.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if ways[victim].valid {
+		c.stats.Evictions++
+		if ways[victim].dirty {
+			writeback = true
+			c.stats.Writebacks++
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return false, writeback
+}
+
+// Contains reports whether addr's line is resident, without touching LRU or
+// counters. Used by tests and invariant checks.
+func (c *Cache) Contains(addr int64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes addr's line if resident (DMA coherence), reporting
+// whether it was present.
+func (c *Cache) Invalidate(addr int64) bool {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i] = line{}
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, returning how many dirty lines were
+// discarded (the caller decides whether to charge writebacks).
+func (c *Cache) Flush() (dirty int) {
+	for _, ways := range c.sets {
+		for i := range ways {
+			if ways[i].valid && ways[i].dirty {
+				dirty++
+			}
+			ways[i] = line{}
+		}
+	}
+	return dirty
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int64 { return c.cfg.LineSize }
+
+// LineBase returns the base address of addr's line.
+func (c *Cache) LineBase(addr int64) int64 { return addr &^ (c.cfg.LineSize - 1) }

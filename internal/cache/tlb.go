@@ -1,0 +1,57 @@
+package cache
+
+// TLB models a fully-associative translation buffer with LRU replacement
+// (the paper's hosts have 64-entry instruction and data TLBs).
+type TLB struct {
+	entries  int
+	pageBits uint
+	vpns     []int64
+	lru      []int64
+	tick     int64
+	stats    Stats
+}
+
+// NewTLB returns a TLB with the given entry count and page size.
+func NewTLB(entries int, pageSize int64) *TLB {
+	if entries <= 0 || pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic("cache: invalid TLB geometry")
+	}
+	bits := uint(0)
+	for p := pageSize; p > 1; p >>= 1 {
+		bits++
+	}
+	vpns := make([]int64, entries)
+	for i := range vpns {
+		vpns[i] = -1
+	}
+	return &TLB{entries: entries, pageBits: bits, vpns: vpns, lru: make([]int64, entries)}
+}
+
+// Stats returns a copy of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Lookup translates addr, filling the entry on a miss, and reports whether
+// the translation hit.
+func (t *TLB) Lookup(addr int64) bool {
+	vpn := addr >> t.pageBits
+	t.tick++
+	t.stats.Accesses++
+	victim := 0
+	for i, v := range t.vpns {
+		if v == vpn {
+			t.lru[i] = t.tick
+			t.stats.Hits++
+			return true
+		}
+		if t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.stats.Misses++
+	t.vpns[victim] = vpn
+	t.lru[victim] = t.tick
+	return false
+}
+
+// PageSize returns the translation granularity in bytes.
+func (t *TLB) PageSize() int64 { return 1 << t.pageBits }

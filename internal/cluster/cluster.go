@@ -1,0 +1,348 @@
+// Package cluster assembles simulated systems: hosts, storage nodes and
+// active switches wired into the paper's topologies — a single-switch
+// I/O cluster for the streaming benchmarks, and the log_{N/2}(p) switch
+// tree used for collective reduction at scale.
+package cluster
+
+import (
+	"fmt"
+
+	"activesan/internal/aswitch"
+	"activesan/internal/host"
+	"activesan/internal/iodev"
+	"activesan/internal/san"
+	"activesan/internal/sim"
+)
+
+// Node-ID ranges keep identities readable in traces.
+const (
+	HostIDBase   san.NodeID = 1
+	StoreIDBase  san.NodeID = 200
+	SwitchIDBase san.NodeID = 1000
+)
+
+// Cluster is a wired system ready to Start.
+type Cluster struct {
+	Eng      *sim.Engine
+	Switches []*aswitch.ActiveSwitch
+	Hosts    []*host.Host
+	Stores   []*iodev.StorageNode
+
+	// Tree describes the switch hierarchy for tree topologies (nil for
+	// single-switch clusters).
+	Tree *TreeInfo
+
+	started bool
+}
+
+// TreeInfo captures the reduction tree's shape: each switch's parent (the
+// root maps to san.NoNode), each host's leaf switch, and how many direct
+// children (hosts or switches) feed each switch.
+type TreeInfo struct {
+	Parent   map[san.NodeID]san.NodeID
+	HostLeaf map[san.NodeID]san.NodeID
+	Children map[san.NodeID]int
+	Root     san.NodeID
+}
+
+// Host returns host i.
+func (c *Cluster) Host(i int) *host.Host { return c.Hosts[i] }
+
+// Store returns storage node i.
+func (c *Cluster) Store(i int) *iodev.StorageNode { return c.Stores[i] }
+
+// Switch returns switch i (0 is the root in tree topologies).
+func (c *Cluster) Switch(i int) *aswitch.ActiveSwitch { return c.Switches[i] }
+
+// Start launches every component. Handlers must be registered before this.
+func (c *Cluster) Start() {
+	if c.started {
+		panic("cluster: double Start")
+	}
+	c.started = true
+	for _, s := range c.Switches {
+		s.Start()
+	}
+	for _, h := range c.Hosts {
+		h.Start()
+	}
+	for _, s := range c.Stores {
+		s.Start()
+	}
+}
+
+// Shutdown unwinds all simulation processes; call after the final Run.
+func (c *Cluster) Shutdown() { c.Eng.Shutdown() }
+
+// attachHost wires a new host to switch port.
+func attachHost(eng *sim.Engine, sw *aswitch.ActiveSwitch, port int, id san.NodeID, name string, cfg host.Config) *host.Host {
+	link := sw.Config().Link
+	up := san.NewLink(eng, fmt.Sprintf("%s.up", name), link)
+	down := san.NewLink(eng, fmt.Sprintf("%s.down", name), link)
+	sw.AttachPort(port, up, down)
+	sw.SetRoute(id, port)
+	return host.New(eng, id, name, down, up, cfg)
+}
+
+// attachStore wires a new storage node to switch port.
+func attachStore(eng *sim.Engine, sw *aswitch.ActiveSwitch, port int, id san.NodeID, name string, cfg iodev.Config) *iodev.StorageNode {
+	link := sw.Config().Link
+	up := san.NewLink(eng, fmt.Sprintf("%s.up", name), link)
+	down := san.NewLink(eng, fmt.Sprintf("%s.down", name), link)
+	sw.AttachPort(port, up, down)
+	sw.SetRoute(id, port)
+	return iodev.New(eng, id, name, down, up, cfg)
+}
+
+// IOClusterConfig parameterizes NewIOCluster.
+type IOClusterConfig struct {
+	Hosts  int
+	Stores int
+	Switch aswitch.Config // Ports is overridden to fit
+	Host   host.Config
+	IO     iodev.Config
+}
+
+// DefaultIOClusterConfig returns a one-host, one-store cluster
+// configuration with the paper's parameters.
+func DefaultIOClusterConfig() IOClusterConfig {
+	return IOClusterConfig{
+		Hosts:  1,
+		Stores: 1,
+		Switch: aswitch.DefaultConfig(8),
+		Host:   host.DefaultConfig(),
+		IO:     iodev.DefaultConfig(),
+	}
+}
+
+// NewIOCluster builds the paper's Figure 1 system: hosts and storage nodes
+// around one (active) switch. Host i has node id HostIDBase+i; storage node
+// j has StoreIDBase+j; the switch is SwitchIDBase.
+func NewIOCluster(eng *sim.Engine, cfg IOClusterConfig) *Cluster {
+	ports := cfg.Hosts + cfg.Stores
+	if cfg.Switch.Base.Ports < ports {
+		cfg.Switch.Base.Ports = ports
+	}
+	sw := aswitch.New(eng, SwitchIDBase, "sw0", cfg.Switch)
+	c := &Cluster{Eng: eng, Switches: []*aswitch.ActiveSwitch{sw}}
+	port := 0
+	for i := 0; i < cfg.Hosts; i++ {
+		h := attachHost(eng, sw, port, HostIDBase+san.NodeID(i), fmt.Sprintf("h%d", i), cfg.Host)
+		c.Hosts = append(c.Hosts, h)
+		port++
+	}
+	for j := 0; j < cfg.Stores; j++ {
+		s := attachStore(eng, sw, port, StoreIDBase+san.NodeID(j), fmt.Sprintf("d%d", j), cfg.IO)
+		c.Stores = append(c.Stores, s)
+		port++
+	}
+	return c
+}
+
+// TreeConfig parameterizes NewTreeCluster.
+type TreeConfig struct {
+	// Hosts is the number of compute nodes p.
+	Hosts int
+	// HostsPerLeaf is how many hosts hang off each leaf switch (the paper
+	// uses 8 of each leaf's 16 ports).
+	HostsPerLeaf int
+	// Arity is the fan-in of interior switches (paper: N/2 = 8).
+	Arity  int
+	Switch aswitch.Config
+	Host   host.Config
+}
+
+// DefaultTreeConfig returns the collective-reduction topology of the
+// paper's Section 5: 16-port switches with 8 hosts per leaf.
+func DefaultTreeConfig(p int) TreeConfig {
+	return TreeConfig{
+		Hosts:        p,
+		HostsPerLeaf: 8,
+		Arity:        8,
+		Switch:       aswitch.DefaultConfig(16),
+		Host:         host.DefaultConfig(),
+	}
+}
+
+// treeNode is a switch under construction with its subtree membership.
+type treeNode struct {
+	sw         *aswitch.ActiveSwitch
+	parent     *treeNode
+	parentPort int
+	nextPort   int
+	subtree    []san.NodeID
+}
+
+// NewTreeCluster builds a switch tree: ceil(p/HostsPerLeaf) leaf switches,
+// reduced Arity-to-1 per level up to a single root. Switch 0 in the result
+// is the root; leaves follow. Every switch routes every host and switch id.
+// A single-leaf system degenerates to one switch, matching the paper's
+// small-system case.
+func NewTreeCluster(eng *sim.Engine, cfg TreeConfig) *Cluster {
+	if cfg.Hosts <= 0 || cfg.HostsPerLeaf <= 0 || cfg.Arity < 2 {
+		panic("cluster: invalid tree configuration")
+	}
+	c := &Cluster{Eng: eng, Tree: &TreeInfo{
+		Parent:   make(map[san.NodeID]san.NodeID),
+		HostLeaf: make(map[san.NodeID]san.NodeID),
+		Children: make(map[san.NodeID]int),
+	}}
+	swID := SwitchIDBase
+
+	newSwitch := func(name string) *treeNode {
+		sw := aswitch.New(eng, swID, name, cfg.Switch)
+		swID++
+		n := &treeNode{sw: sw}
+		return n
+	}
+
+	// Build leaves with their hosts.
+	nLeaves := (cfg.Hosts + cfg.HostsPerLeaf - 1) / cfg.HostsPerLeaf
+	var level []*treeNode
+	hostIdx := 0
+	for l := 0; l < nLeaves; l++ {
+		leaf := newSwitch(fmt.Sprintf("leaf%d", l))
+		for k := 0; k < cfg.HostsPerLeaf && hostIdx < cfg.Hosts; k++ {
+			id := HostIDBase + san.NodeID(hostIdx)
+			h := attachHost(eng, leaf.sw, leaf.nextPort, id, fmt.Sprintf("h%d", hostIdx), cfg.Host)
+			leaf.nextPort++
+			leaf.subtree = append(leaf.subtree, id)
+			c.Hosts = append(c.Hosts, h)
+			c.Tree.HostLeaf[id] = leaf.sw.ID()
+			c.Tree.Children[leaf.sw.ID()]++
+			hostIdx++
+		}
+		level = append(level, leaf)
+	}
+
+	// Reduce levels until a single root remains.
+	allNodes := append([]*treeNode(nil), level...)
+	for len(level) > 1 {
+		var next []*treeNode
+		for i := 0; i < len(level); i += cfg.Arity {
+			end := i + cfg.Arity
+			if end > len(level) {
+				end = len(level)
+			}
+			group := level[i:end]
+			parent := newSwitch(fmt.Sprintf("sw%d", len(allNodes)))
+			for _, child := range group {
+				connect(eng, parent, child)
+				parent.subtree = append(parent.subtree, child.subtree...)
+				parent.subtree = append(parent.subtree, child.sw.ID())
+				child.parent = parent
+				c.Tree.Parent[child.sw.ID()] = parent.sw.ID()
+				c.Tree.Children[parent.sw.ID()]++
+			}
+			allNodes = append(allNodes, parent)
+			next = append(next, parent)
+		}
+		level = next
+	}
+	root := level[0]
+
+	// Install upward routes: each switch reaches everything outside its
+	// subtree via its parent (downward routes were installed by connect).
+	all := append([]san.NodeID(nil), root.subtree...)
+	for _, n := range allNodes {
+		all = append(all, n.sw.ID())
+	}
+	for _, n := range allNodes {
+		installRoutes(n, all)
+	}
+
+	c.Tree.Root = root.sw.ID()
+	c.Tree.Parent[root.sw.ID()] = san.NoNode
+
+	// Order switches: root first, then the rest in creation order.
+	c.Switches = append(c.Switches, root.sw)
+	for _, n := range allNodes {
+		if n != root {
+			c.Switches = append(c.Switches, n.sw)
+		}
+	}
+	return c
+}
+
+// connect wires child's uplink to parent's next free port pair.
+func connect(eng *sim.Engine, parent, child *treeNode) {
+	link := parent.sw.Config().Link
+	up := san.NewLink(eng, fmt.Sprintf("%s->%s", child.sw.Name(), parent.sw.Name()), link)
+	down := san.NewLink(eng, fmt.Sprintf("%s->%s", parent.sw.Name(), child.sw.Name()), link)
+	parent.sw.AttachPort(parent.nextPort, up, down)
+	child.childUplink(eng, down, up)
+	// Route all of child's subtree out of this parent port.
+	for _, id := range child.subtree {
+		parent.sw.SetRoute(id, parent.nextPort)
+	}
+	parent.sw.SetRoute(child.sw.ID(), parent.nextPort)
+	parent.nextPort++
+}
+
+// childUplink attaches the parent-facing links on the child's next port.
+func (n *treeNode) childUplink(eng *sim.Engine, fromParent, toParent *san.Link) {
+	n.sw.AttachPort(n.nextPort, fromParent, toParent)
+	n.parentPort = n.nextPort
+	n.nextPort++
+}
+
+// installRoutes gives one switch a route for every id it cannot already
+// reach downward: anything outside its subtree goes to the parent.
+func installRoutes(n *treeNode, all []san.NodeID) {
+	if n.parent == nil {
+		return
+	}
+	have := make(map[san.NodeID]bool, len(n.subtree))
+	for _, id := range n.subtree {
+		have[id] = true
+	}
+	for _, id := range all {
+		if !have[id] && id != n.sw.ID() && n.sw.Route(id) < 0 {
+			n.sw.SetRoute(id, n.parentPort)
+		}
+	}
+}
+
+// NewDualIOCluster builds a two-switch system: hosts on switch 0, storage
+// on switch 1, joined by a trunk. It is the testbed for the paper's
+// placement argument — a filter on the storage-side switch saves trunk
+// bandwidth, one on the host-side switch does not.
+func NewDualIOCluster(eng *sim.Engine, cfg IOClusterConfig) *Cluster {
+	hostPorts := cfg.Hosts + 1
+	storePorts := cfg.Stores + 1
+	hostCfg := cfg.Switch
+	hostCfg.Base.Ports = hostPorts
+	storeCfg := cfg.Switch
+	storeCfg.Base.Ports = storePorts
+
+	swH := aswitch.New(eng, SwitchIDBase, "swH", hostCfg)
+	swS := aswitch.New(eng, SwitchIDBase+1, "swS", storeCfg)
+	c := &Cluster{Eng: eng, Switches: []*aswitch.ActiveSwitch{swH, swS}}
+
+	for i := 0; i < cfg.Hosts; i++ {
+		h := attachHost(eng, swH, i, HostIDBase+san.NodeID(i), fmt.Sprintf("h%d", i), cfg.Host)
+		c.Hosts = append(c.Hosts, h)
+	}
+	for j := 0; j < cfg.Stores; j++ {
+		s := attachStore(eng, swS, j, StoreIDBase+san.NodeID(j), fmt.Sprintf("d%d", j), cfg.IO)
+		c.Stores = append(c.Stores, s)
+	}
+
+	// Trunk on each switch's last port.
+	link := cfg.Switch.Base.Link
+	hs := san.NewLink(eng, "trunk.hs", link)
+	sh := san.NewLink(eng, "trunk.sh", link)
+	swH.AttachPort(hostPorts-1, sh, hs)
+	swS.AttachPort(storePorts-1, hs, sh)
+
+	// Routes: everything not local goes over the trunk.
+	for j := 0; j < cfg.Stores; j++ {
+		swH.SetRoute(StoreIDBase+san.NodeID(j), hostPorts-1)
+	}
+	swH.SetRoute(swS.ID(), hostPorts-1)
+	for i := 0; i < cfg.Hosts; i++ {
+		swS.SetRoute(HostIDBase+san.NodeID(i), storePorts-1)
+	}
+	swS.SetRoute(swH.ID(), storePorts-1)
+	return c
+}

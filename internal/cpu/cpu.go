@@ -1,0 +1,235 @@
+// Package cpu models the single-issue processor timing of the paper's host
+// (2 GHz) and embedded switch (500 MHz) CPUs. Benchmarks charge instruction
+// counts and issue memory references; the model accumulates the busy /
+// cache-stall / idle breakdown that drives the paper's Figures 4-14.
+//
+// A load miss stalls the processor until the data returns; prefetch and
+// store misses retire into an outstanding-miss window of four cache lines,
+// exactly the rule in the paper's Section 4.
+//
+// For speed, busy time is accrued as a debt and slept in quanta rather than
+// per instruction; at any synchronization point the caller flushes the debt
+// so cross-component timing stays accurate to within one quantum (tests can
+// set the quantum to zero for exact accounting).
+package cpu
+
+import (
+	"fmt"
+
+	"activesan/internal/cache"
+	"activesan/internal/sim"
+)
+
+// tlbHandlerCycles is the fixed instruction cost of a software TLB refill,
+// charged as busy time on top of the walk's memory latency.
+const tlbHandlerCycles = 20
+
+// maxOutstandingLines is the paper's limit on in-flight non-blocking misses.
+const maxOutstandingLines = 4
+
+// Breakdown partitions a processor's time, mirroring the paper's
+// execution-time breakdown figures (CPU busy / cache stall / idle).
+type Breakdown struct {
+	Busy  sim.Time
+	Stall sim.Time
+}
+
+// CPU is one processor's timing model.
+type CPU struct {
+	eng  *sim.Engine
+	name string
+	clk  sim.Clock
+	hier *cache.Hierarchy
+
+	// debt is busy/stall time accrued but not yet slept.
+	debt    sim.Time
+	quantum sim.Time
+
+	acct Breakdown
+
+	// outstanding holds completion times of in-flight non-blocking misses,
+	// keyed by line address.
+	outstanding map[int64]sim.Time
+
+	loads, stores, prefetches int64
+}
+
+// New returns a CPU over the given hierarchy. quantum bounds how much busy
+// time may be accrued before sleeping; 0 sleeps on every charge.
+func New(eng *sim.Engine, name string, clk sim.Clock, hier *cache.Hierarchy, quantum sim.Time) *CPU {
+	if hier == nil {
+		panic("cpu: nil hierarchy")
+	}
+	return &CPU{
+		eng:         eng,
+		name:        name,
+		clk:         clk,
+		hier:        hier,
+		quantum:     quantum,
+		outstanding: make(map[int64]sim.Time),
+	}
+}
+
+// Name returns the CPU's debug name.
+func (c *CPU) Name() string { return c.name }
+
+// Clock returns the CPU's clock.
+func (c *CPU) Clock() sim.Clock { return c.clk }
+
+// Hier returns the cache hierarchy.
+func (c *CPU) Hier() *cache.Hierarchy { return c.hier }
+
+// Breakdown returns accumulated busy and stall time, including accrued debt.
+func (c *CPU) Breakdown() Breakdown { return c.acct }
+
+// Counts reports how many loads, stores and prefetches were issued.
+func (c *CPU) Counts() (loads, stores, prefetches int64) {
+	return c.loads, c.stores, c.prefetches
+}
+
+// vnow is the CPU's virtual time: engine time plus unslept debt.
+func (c *CPU) vnow() sim.Time { return c.eng.Now() + c.debt }
+
+// Flush sleeps off any accrued debt. Call before synchronizing with other
+// components (message sends, I/O waits) so they observe the right clock.
+func (c *CPU) Flush(p *sim.Proc) {
+	if c.debt > 0 {
+		d := c.debt
+		c.debt = 0
+		p.Sleep(d)
+	}
+}
+
+func (c *CPU) accrue(p *sim.Proc, d sim.Time) {
+	c.debt += d
+	if c.debt >= c.quantum {
+		c.Flush(p)
+	}
+}
+
+// Compute charges n instructions of busy time (one instruction per cycle,
+// the paper's single-issue model).
+func (c *CPU) Compute(p *sim.Proc, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("cpu %s: negative instruction count %d", c.name, n))
+	}
+	d := c.clk.Cycles(n)
+	c.acct.Busy += d
+	c.accrue(p, d)
+}
+
+// BusyFor charges an arbitrary duration as busy time (used for the paper's
+// fixed OS overheads, which it attributes to the host CPU).
+func (c *CPU) BusyFor(p *sim.Proc, d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("cpu %s: negative busy time %v", c.name, d))
+	}
+	c.acct.Busy += d
+	c.accrue(p, d)
+}
+
+// StallUntil charges cache-stall time until the absolute instant t (no-op if
+// t is already past the CPU's virtual clock).
+func (c *CPU) StallUntil(p *sim.Proc, t sim.Time) {
+	if d := t - c.vnow(); d > 0 {
+		c.acct.Stall += d
+		c.accrue(p, d)
+	}
+}
+
+// Load issues a blocking load; the CPU stalls until the first data returns.
+func (c *CPU) Load(p *sim.Proc, addr int64) cache.Result {
+	c.loads++
+	return c.ref(p, addr, cache.Load, true)
+}
+
+// Store issues a write that retires into the outstanding-miss window.
+func (c *CPU) Store(p *sim.Proc, addr int64) cache.Result {
+	c.stores++
+	return c.ref(p, addr, cache.Store, false)
+}
+
+// Prefetch issues a non-binding prefetch into the outstanding-miss window.
+func (c *CPU) Prefetch(p *sim.Proc, addr int64) cache.Result {
+	c.prefetches++
+	return c.ref(p, addr, cache.Prefetch, false)
+}
+
+// Ifetch models an instruction fetch (blocking, through the I-side).
+func (c *CPU) Ifetch(p *sim.Proc, addr int64) cache.Result {
+	return c.ref(p, addr, cache.Ifetch, true)
+}
+
+func (c *CPU) ref(p *sim.Proc, addr int64, k cache.Kind, blocking bool) cache.Result {
+	c.expireOutstanding()
+	r := c.hier.Access(addr, k)
+	if r.TLBMiss {
+		// The walk's memory time is inside r.Ready; the refill handler is
+		// architectural work.
+		c.Compute(p, tlbHandlerCycles)
+	}
+	if r.Level == cache.InL1 {
+		return r
+	}
+	if blocking {
+		c.StallUntil(p, r.Ready)
+		return r
+	}
+	// Non-blocking miss: occupy an outstanding-line slot; if four lines are
+	// already in flight the processor stalls until the oldest drains.
+	line := c.hier.L1D().LineBase(addr)
+	if _, dup := c.outstanding[line]; dup {
+		return r
+	}
+	for len(c.outstanding) >= maxOutstandingLines {
+		earliest := sim.Forever
+		victim := int64(-1)
+		for a, t := range c.outstanding {
+			// Tie-break on address so map iteration order cannot perturb
+			// the simulation.
+			if t < earliest || (t == earliest && a < victim) {
+				earliest, victim = t, a
+			}
+		}
+		c.StallUntil(p, earliest)
+		delete(c.outstanding, victim)
+		c.expireOutstanding()
+	}
+	c.outstanding[line] = r.Ready
+	return r
+}
+
+// expireOutstanding retires misses whose data has arrived by the CPU's
+// virtual clock.
+func (c *CPU) expireOutstanding() {
+	if len(c.outstanding) == 0 {
+		return
+	}
+	now := c.vnow()
+	for a, t := range c.outstanding {
+		if t <= now {
+			delete(c.outstanding, a)
+		}
+	}
+}
+
+// TouchRange walks [base, base+n) with the given reference kind at cache-line
+// granularity — the common pattern for streaming over a buffer.
+func (c *CPU) TouchRange(p *sim.Proc, base, n int64, k cache.Kind) {
+	if n <= 0 {
+		return
+	}
+	step := c.hier.L1D().LineSize()
+	for a := c.hier.L1D().LineBase(base); a < base+n; a += step {
+		switch k {
+		case cache.Load:
+			c.Load(p, a)
+		case cache.Store:
+			c.Store(p, a)
+		case cache.Prefetch:
+			c.Prefetch(p, a)
+		default:
+			panic("cpu: TouchRange kind must be load, store or prefetch")
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package exp is the experiment registry: every table and figure of the
+// paper's evaluation maps to a runnable experiment that regenerates its
+// rows or series. Experiments accept a scale divisor so the full paper
+// workloads (up to 16M records) can be shrunk for quick runs; shapes are
+// scale-free, and scale 1 reproduces the paper's exact problem sizes.
+package exp
+
+import (
+	"fmt"
+
+	"activesan/internal/apps/grep"
+	"activesan/internal/apps/hashjoin"
+	"activesan/internal/apps/md5app"
+	"activesan/internal/apps/mpeg"
+	"activesan/internal/apps/psort"
+	"activesan/internal/apps/reduce"
+	"activesan/internal/apps/sel"
+	"activesan/internal/apps/tarapp"
+	"activesan/internal/apps/twolevel"
+	"activesan/internal/stats"
+)
+
+// Experiment is one paper artifact.
+type Experiment struct {
+	// ID is the registry key ("fig3", "table1", ...).
+	ID string
+	// Paper names the artifact ("Figure 3 and 4").
+	Paper string
+	// Title describes what it shows.
+	Title string
+	// Run executes the experiment at the given scale divisor (1 = the
+	// paper's full problem size).
+	Run func(scale int64) *stats.Result
+}
+
+func clampScale(s int64) int64 {
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Experiment{
+	{
+		ID:    "table1",
+		Paper: "Table 1",
+		Title: "Applications and problem sizes",
+		Run:   runTable1,
+	},
+	{
+		ID:    "fig3",
+		Paper: "Figures 3 and 4",
+		Title: "MPEG filter: performance and execution-time breakdown",
+		Run: func(scale int64) *stats.Result {
+			prm := mpeg.DefaultParams()
+			prm.FileSize /= clampScale(scale)
+			if prm.FileSize < 128*1024 {
+				prm.FileSize = 128 * 1024
+			}
+			return mpeg.RunAll(prm)
+		},
+	},
+	{
+		ID:    "fig5",
+		Paper: "Figures 5 and 6",
+		Title: "HashJoin with bit-vector filter: performance and breakdown",
+		Run: func(scale int64) *stats.Result {
+			prm := hashjoin.DefaultParams()
+			s := clampScale(scale)
+			prm.RBytes /= s
+			prm.SBytes /= s
+			if prm.RBytes < 1<<20 {
+				prm.RBytes = 1 << 20
+			}
+			if prm.SBytes < 4<<20 {
+				prm.SBytes = 4 << 20
+			}
+			return hashjoin.RunAll(prm)
+		},
+	},
+	{
+		ID:    "fig7",
+		Paper: "Figures 7 and 8",
+		Title: "Select: performance and breakdown",
+		Run: func(scale int64) *stats.Result {
+			prm := sel.DefaultParams()
+			prm.TableBytes /= clampScale(scale)
+			if prm.TableBytes < 4<<20 {
+				prm.TableBytes = 4 << 20
+			}
+			return sel.RunAll(prm)
+		},
+	},
+	{
+		ID:    "fig9",
+		Paper: "Figures 9 and 10",
+		Title: "Grep: performance and breakdown",
+		Run: func(int64) *stats.Result {
+			// The paper's file is ~1.1 MB; no scaling needed.
+			return grep.RunAll(grep.DefaultParams())
+		},
+	},
+	{
+		ID:    "fig11",
+		Paper: "Figures 11 and 12",
+		Title: "Tar: performance and breakdown",
+		Run: func(scale int64) *stats.Result {
+			prm := tarapp.DefaultParams()
+			s := clampScale(scale)
+			if s > 1 && prm.Files > 4 {
+				prm.Files = int(int64(prm.Files) / min64(s, 4))
+			}
+			return tarapp.RunAll(prm)
+		},
+	},
+	{
+		ID:    "fig13",
+		Paper: "Figures 13 and 14",
+		Title: "Parallel sort (distribution phase): performance and breakdown",
+		Run: func(scale int64) *stats.Result {
+			prm := psort.DefaultParams()
+			prm.Records /= clampScale(scale)
+			if prm.Records < 32<<10 {
+				prm.Records = 32 << 10
+			}
+			return psort.RunAll(prm)
+		},
+	},
+	{
+		ID:    "table2",
+		Paper: "Table 2",
+		Title: "Collective reduction semantics (correctness demonstration)",
+		Run:   runTable2,
+	},
+	{
+		ID:    "fig15",
+		Paper: "Figure 15",
+		Title: "Collective Reduce-to-one: latency vs node count",
+		Run: func(scale int64) *stats.Result {
+			return reduce.Sweep(reduce.ToOne, sweepNodes(scale), reduce.DefaultParams())
+		},
+	},
+	{
+		ID:    "fig16",
+		Paper: "Figure 16",
+		Title: "Collective Distributed Reduce: latency vs node count",
+		Run: func(scale int64) *stats.Result {
+			return reduce.Sweep(reduce.Distributed, sweepNodes(scale), reduce.DefaultParams())
+		},
+	},
+	{
+		ID:    "fig17",
+		Paper: "Figure 17",
+		Title: "MD5 with 1, 2 and 4 switch CPUs",
+		Run: func(scale int64) *stats.Result {
+			prm := md5app.DefaultParams()
+			prm.FileSize /= clampScale(scale)
+			if prm.FileSize < 64*1024 {
+				prm.FileSize = 64 * 1024
+			}
+			return md5app.RunAll(prm)
+		},
+	},
+	{
+		ID:    "twolevel",
+		Paper: "Extension (Section 6)",
+		Title: "Two-level active I/O: active disks below active switches",
+		Run: func(scale int64) *stats.Result {
+			prm := twolevel.DefaultParams()
+			prm.TableBytes /= clampScale(scale)
+			if prm.TableBytes < 4<<20 {
+				prm.TableBytes = 4 << 20
+			}
+			return twolevel.RunAll(prm)
+		},
+	},
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sweepNodes(scale int64) []int {
+	if clampScale(scale) > 1 {
+		return []int{2, 4, 8, 16, 32}
+	}
+	return reduce.DefaultNodeCounts
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns every experiment id in paper order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// runTable1 echoes the workload configuration, verifying each generator's
+// size against the paper's Table 1.
+func runTable1(int64) *stats.Result {
+	res := &stats.Result{ID: "table1", Title: "Applications and problem sizes"}
+	type row struct {
+		app   string
+		size  string
+		check string
+	}
+	g := grep.DefaultParams()
+	m := mpeg.DefaultParams()
+	hj := hashjoin.DefaultParams()
+	se := sel.DefaultParams()
+	ta := tarapp.DefaultParams()
+	ps := psort.DefaultParams()
+	md := md5app.DefaultParams()
+	rd := reduce.DefaultParams()
+	rows := []row{
+		{"MPEG filter", fmt.Sprintf("%d B", m.FileSize), fmt.Sprintf("generated %d B, %.1f%% P-frames", m.FileSize, 100*float64(mpeg.PBytes(mpeg.BuildStream(m)))/float64(m.FileSize))},
+		{"HashJoin", fmt.Sprintf("%dM x %dM", hj.RBytes>>20, hj.SBytes>>20), fmt.Sprintf("%d B records, %d-bit filter", hj.RecordSize, hj.BitvecBits)},
+		{"Select", fmt.Sprintf("%dM", se.TableBytes>>20), fmt.Sprintf("%d B records", se.RecordSize)},
+		{"Grep", fmt.Sprintf("%d B", g.FileSize), fmt.Sprintf("%d matching lines for %q", g.Matches, g.Pattern)},
+		{"Tar", fmt.Sprintf("%dM", int64(ta.Files)*ta.FileSize>>20), fmt.Sprintf("%d files x %d KB", ta.Files, ta.FileSize>>10)},
+		{"Parallel sort", fmt.Sprintf("%dM records", ps.Records>>20), fmt.Sprintf("%d B records, %d B keys, %d nodes", ps.RecordSize, ps.KeySize, ps.Hosts)},
+		{"MD5", fmt.Sprintf("%dK", md.FileSize>>10), "K-chain interleave for multi-CPU"},
+		{"Collective reduction", fmt.Sprintf("%d B", rd.VectorBytes), fmt.Sprintf("%d-element vectors, up to 128 nodes", rd.Elems)},
+	}
+	for _, r := range rows {
+		res.Notes = append(res.Notes, fmt.Sprintf("%-22s %-16s %s", r.app, r.size, r.check))
+	}
+	return res
+}
+
+// runTable2 demonstrates the two reduction semantics of Table 2 and checks
+// both against the oracle.
+func runTable2(int64) *stats.Result {
+	res := &stats.Result{ID: "table2", Title: "Collective reduction semantics"}
+	prm := reduce.DefaultParams()
+	const p = 8
+	one := reduce.Run(reduce.ToOne, true, p, prm)
+	dist := reduce.Run(reduce.Distributed, true, p, prm)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("Reduce-to-one   (p=%d): y at node 0, latency %v, correct=%v", p, one.Latency, one.Correct),
+		fmt.Sprintf("Distributed Red (p=%d): y_i at node i, latency %v, correct=%v", p, dist.Latency, dist.Correct),
+		fmt.Sprintf("y[0..4] = %v", one.Final[:5]),
+	)
+	return res
+}
+
+// RunAllExperiments executes the whole registry at one scale.
+func RunAllExperiments(scale int64) []*stats.Result {
+	out := make([]*stats.Result, 0, len(Registry))
+	for _, e := range Registry {
+		out = append(out, e.Run(scale))
+	}
+	return out
+}
+
+// Shapes summarizes the paper-vs-measured headline numbers of a result;
+// EXPERIMENTS.md and the CLI print these lines.
+func Shapes(res *stats.Result) []string {
+	var out []string
+	add := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	switch res.ID {
+	case "fig3":
+		add("normal+pref speedup %.2f (paper 1.13)", res.Speedup("normal+pref"))
+		add("active speedup %.2f (paper 1.23)", res.Speedup("active"))
+		add("active+pref speedup %.2f (paper 1.36)", res.Speedup("active+pref"))
+		a, _ := res.Run("active")
+		add("data to host reduced to %.1f%% (paper: 63.5%% of bytes are P-frames)",
+			100*float64(a.Traffic)/float64(res.Baseline().Traffic))
+	case "fig5":
+		add("active speedup %.2f (paper 1.10)", res.Speedup("active"))
+		np, _ := res.Run("normal+pref")
+		ap, _ := res.Run("active+pref")
+		add("prefetch parity %.2f (paper ~1.0)", float64(np.Time)/float64(ap.Time))
+		add("host stall share %.1f%% -> %.1f%% (paper 27.6%% -> 16.1%%)",
+			100*float64(np.HostStall)/float64(np.Time), 100*float64(ap.HostStall)/float64(ap.Time))
+	case "fig7":
+		a, _ := res.Run("active")
+		np, _ := res.Run("normal+pref")
+		add("traffic ratio %.2f (paper 0.25)", float64(a.Traffic)/float64(res.Baseline().Traffic))
+		add("normal/active util ratio %.1fx (paper 21x)",
+			(res.Baseline().HostUtil()+np.HostUtil())/(2*a.HostUtil()))
+	case "fig9":
+		add("active speedup %.2f (paper 1.14)", res.Speedup("active"))
+	case "fig11":
+		a, _ := res.Run("active")
+		add("active host traffic %d B (paper: headers only)", a.Traffic)
+		add("active host util %.3f (paper ~0)", a.HostUtil())
+	case "fig13":
+		a, _ := res.Run("active")
+		add("per-node traffic ratio %.2f (paper 0.40 = p/(3p-2) at p=4)",
+			float64(a.Traffic)/float64(res.Baseline().Traffic))
+	case "fig15", "fig16":
+		for _, s := range res.Series {
+			if s.Name == "speedup" {
+				add("max speedup %.2fx (paper: 5.61x / 5.92x at 128 nodes)", s.MaxY())
+			}
+		}
+	case "twolevel":
+		host, _ := res.Run("host")
+		two, _ := res.Run("two-level")
+		if host.Traffic > 0 {
+			add("two-level host traffic %.4f%% of host-only (extension: not in the paper)",
+				100*float64(two.Traffic)/float64(host.Traffic))
+		}
+	case "fig17":
+		add("active 1-cpu speedup %.2f (paper: <1, a slowdown)", res.Speedup("active-1cpu"))
+		add("active 4-cpu speedup %.2f (paper 1.50)", res.Speedup("active-4cpu"))
+		np, _ := res.Run("normal+pref")
+		ap4, _ := res.Run("active+pref-4cpu")
+		add("4-cpu +pref vs normal+pref %.2f (paper 1.18)", float64(np.Time)/float64(ap4.Time))
+	}
+	return out
+}

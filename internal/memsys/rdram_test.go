@@ -1,0 +1,192 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"activesan/internal/sim"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.BandwidthBytesPerSec != 1.6e9 {
+		t.Errorf("bandwidth = %v, want 1.6e9", c.BandwidthBytesPerSec)
+	}
+	if c.PageHit != 100*sim.Nanosecond || c.PageMiss != 122*sim.Nanosecond {
+		t.Errorf("latencies = %v/%v, want 100ns/122ns", c.PageHit, c.PageMiss)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{BandwidthBytesPerSec: 1e9, PageSize: 0, Banks: 4, PageHit: 1, PageMiss: 2},
+		{BandwidthBytesPerSec: 1e9, PageSize: 2048, Banks: 4, PageHit: 2, PageMiss: 1},
+	}
+	for i, c := range bad {
+		if err := c.validate(); err == nil {
+			t.Errorf("config %d validated but should not", i)
+		}
+	}
+	if err := DefaultConfig().validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestPageHitMissClassification(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, "mem", DefaultConfig())
+	eng.Spawn("cpu", func(p *sim.Proc) {
+		// First touch of a page is a miss; a second touch in the same page
+		// hits; a touch of a different row in the same bank misses again.
+		m.Access(p, 0, 128)
+		m.Access(p, 64, 128)
+		sameBankNewRow := DefaultConfig().PageSize * int64(DefaultConfig().Banks)
+		m.Access(p, sameBankNewRow, 128)
+	})
+	eng.Run()
+	st := m.Stats()
+	if st.PageHits != 1 || st.PageMisse != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", st.PageHits, st.PageMisse)
+	}
+	if st.Bytes != 384 {
+		t.Fatalf("bytes = %d, want 384", st.Bytes)
+	}
+}
+
+func TestAccessLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, "mem", DefaultConfig())
+	var miss, hit sim.Time
+	eng.Spawn("cpu", func(p *sim.Proc) {
+		miss = m.Access(p, 0, 128)
+		hit = m.Access(p, 128, 128)
+	})
+	eng.Run()
+	// 128 bytes at 1.6 GB/s = 80 ns of occupancy.
+	wantMiss := 122*sim.Nanosecond + sim.TransferTime(128, 1.6e9)
+	wantHit := 100*sim.Nanosecond + sim.TransferTime(128, 1.6e9)
+	if miss != wantMiss {
+		t.Errorf("miss access took %v, want %v", miss, wantMiss)
+	}
+	if hit != wantHit {
+		t.Errorf("hit access took %v, want %v", hit, wantHit)
+	}
+}
+
+func TestBandwidthContention(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, "mem", DefaultConfig())
+	var last sim.Time
+	const n = 10
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Spawn("dma", func(p *sim.Proc) {
+			m.Access(p, int64(i)*131072, 131072) // 128 KB apart: all misses
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	// 10 x 128 KB at 1.6 GB/s is 819.2 us of pure occupancy; queueing must
+	// push the last completion past that.
+	minTotal := sim.TransferTime(n*131072, 1.6e9)
+	if last < minTotal {
+		t.Fatalf("last completion %v earlier than bus-limited %v", last, minTotal)
+	}
+	if last > minTotal+10*122*sim.Nanosecond {
+		t.Fatalf("last completion %v much later than bus-limited %v", last, minTotal)
+	}
+}
+
+func TestStreamOpensPages(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, "mem", DefaultConfig())
+	eng.Spawn("io", func(p *sim.Proc) {
+		m.Stream(p, 0, 64*1024) // touches 32 pages
+		// A follow-up access inside the streamed range should page-hit.
+		m.Access(p, 40960, 128)
+	})
+	eng.Run()
+	st := m.Stats()
+	if st.PageHits != 1 {
+		t.Fatalf("page hits = %d, want 1 (stream should open pages)", st.PageHits)
+	}
+}
+
+func TestReserveDoesNotBlock(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, "mem", DefaultConfig())
+	end1 := m.Reserve(0, 1024)
+	end2 := m.Reserve(1<<20, 1024)
+	if end2 <= end1 {
+		t.Fatalf("reservations did not serialize: %v then %v", end1, end2)
+	}
+}
+
+func TestAddressSpaceAllocation(t *testing.T) {
+	s := NewAddressSpace(0x1000, 1<<20)
+	a := s.Alloc(100, 64)
+	b := s.Alloc(100, 64)
+	if a%64 != 0 || b%64 != 0 {
+		t.Fatalf("allocations not aligned: %#x %#x", a, b)
+	}
+	if b <= a || b < a+100 {
+		t.Fatalf("allocations overlap: %#x %#x", a, b)
+	}
+	r := s.AllocRegion(4096, 4096)
+	if r.Base%4096 != 0 {
+		t.Fatalf("region not page aligned: %#x", r.Base)
+	}
+	if !r.Contains(r.Base) || r.Contains(r.End()) {
+		t.Fatal("region bounds wrong")
+	}
+}
+
+func TestAddressSpaceExhaustionPanics(t *testing.T) {
+	s := NewAddressSpace(0, 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-allocation did not panic")
+		}
+	}()
+	s.Alloc(256, 64)
+}
+
+func TestAddressSpaceDisjointProperty(t *testing.T) {
+	// Property: any sequence of allocations yields pairwise-disjoint regions.
+	f := func(sizes []uint16) bool {
+		s := NewAddressSpace(0, 1<<30)
+		var regs []Region
+		for _, sz := range sizes {
+			if sz == 0 {
+				continue
+			}
+			regs = append(regs, s.AllocRegion(int64(sz), 64))
+		}
+		for i := range regs {
+			for j := i + 1; j < len(regs); j++ {
+				if regs[i].Contains(regs[j].Base) || regs[j].Contains(regs[i].Base) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankRowStriping(t *testing.T) {
+	eng := sim.NewEngine()
+	m := New(eng, "mem", DefaultConfig())
+	// Consecutive pages must land in different banks so sequential streams
+	// do not thrash one bank.
+	b0, _ := m.bankRow(0)
+	b1, _ := m.bankRow(DefaultConfig().PageSize)
+	if b0 == b1 {
+		t.Fatal("consecutive pages map to the same bank")
+	}
+}

@@ -1,0 +1,195 @@
+// Package nic models the host channel adapter: a queue-pair interface that
+// segments outgoing messages into MTU packets, reassembles incoming packets
+// into completions, and DMAs payloads against the host's RDRAM channel so
+// that I/O traffic and CPU memory references contend for the same bandwidth.
+// It also accumulates the "host I/O traffic" metric of the paper's figures —
+// total bytes in and out of the host.
+package nic
+
+import (
+	"activesan/internal/memsys"
+	"activesan/internal/san"
+	"activesan/internal/sim"
+)
+
+// Completion is one fully-arrived message.
+type Completion struct {
+	Hdr      san.Header // header of the final packet
+	Size     int64      // payload bytes across all packets
+	Payloads []any      // per-packet payloads in arrival order
+	FirstAt  sim.Time   // head arrival of the first packet
+	DoneAt   sim.Time   // arrival of the last packet
+}
+
+// Bytes gathers the payloads into one slice when they are literal data.
+func (c *Completion) Bytes() []byte {
+	var out []byte
+	for _, p := range c.Payloads {
+		if b, ok := p.([]byte); ok {
+			out = append(out, b...)
+		}
+	}
+	return out
+}
+
+// Stats counts adapter traffic.
+type Stats struct {
+	PacketsIn, PacketsOut   int64
+	BytesIn, BytesOut       int64
+	MessagesIn, MessagesOut int64
+}
+
+// Traffic returns total bytes moved in either direction — the paper's host
+// I/O traffic metric.
+func (s Stats) Traffic() int64 { return s.BytesIn + s.BytesOut }
+
+type flowKey struct {
+	src  san.NodeID
+	flow int64
+}
+
+type txJob struct {
+	msg   *san.Message
+	done  *sim.Latch
+	local int64
+}
+
+// NIC is one host channel adapter.
+type NIC struct {
+	eng  *sim.Engine
+	id   san.NodeID
+	name string
+	in   *san.Link
+	out  *san.Link
+	mem  *memsys.RDRAM
+
+	txq      *sim.Queue[txJob]
+	comps    *sim.Queue[*Completion]
+	partials map[flowKey]*Completion
+
+	// invalidate, when set, is called for every DMA write so the host's
+	// caches drop stale copies of the buffer (DMA coherence).
+	invalidate func(base, n int64)
+
+	flows   int64
+	stats   Stats
+	started bool
+}
+
+// SetInvalidator installs the DMA-coherence callback.
+func (n *NIC) SetInvalidator(fn func(base, n int64)) { n.invalidate = fn }
+
+// New builds an adapter for node id attached via the given links; mem is the
+// host memory channel DMA traffic is charged against.
+func New(eng *sim.Engine, id san.NodeID, name string, in, out *san.Link, mem *memsys.RDRAM) *NIC {
+	return &NIC{
+		eng:      eng,
+		id:       id,
+		name:     name,
+		in:       in,
+		out:      out,
+		mem:      mem,
+		txq:      sim.NewQueue[txJob](),
+		comps:    sim.NewQueue[*Completion](),
+		partials: make(map[flowKey]*Completion),
+	}
+}
+
+// ID returns the adapter's node id.
+func (n *NIC) ID() san.NodeID { return n.id }
+
+// Stats returns a copy of the traffic counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// NextFlow allocates a node-unique flow id.
+func (n *NIC) NextFlow() int64 {
+	n.flows++
+	return n.flows<<16 | int64(n.id)&0xFFFF
+}
+
+// Start spawns the receive and transmit engines.
+func (n *NIC) Start() {
+	if n.started {
+		panic("nic: double Start")
+	}
+	n.started = true
+	n.eng.Spawn(n.name+".rx", n.rxLoop)
+	n.eng.Spawn(n.name+".tx", n.txLoop)
+}
+
+// Post queues msg for transmission and returns a latch that opens once the
+// final packet is on the wire. local is the host-memory source address the
+// DMA reads are charged against.
+func (n *NIC) Post(msg *san.Message, local int64) *sim.Latch {
+	if msg.Hdr.Flow == 0 {
+		msg.Hdr.Flow = n.NextFlow()
+	}
+	if msg.Hdr.Src == 0 {
+		msg.Hdr.Src = n.id
+	}
+	done := sim.NewLatch()
+	n.txq.Put(txJob{msg: msg, done: done, local: local})
+	return done
+}
+
+// Recv blocks until a message completion is available.
+func (n *NIC) Recv(p *sim.Proc) *Completion { return n.comps.Get(p) }
+
+// TryRecv polls for a completion.
+func (n *NIC) TryRecv() (*Completion, bool) { return n.comps.TryGet() }
+
+// Pending reports queued-but-unread completions.
+func (n *NIC) Pending() int { return n.comps.Len() }
+
+func (n *NIC) rxLoop(p *sim.Proc) {
+	for {
+		pkt := n.in.Recv(p)
+		// DMA the payload into host memory; the credit returns once the
+		// adapter has drained the packet off the link buffer.
+		if pkt.Size > 0 {
+			n.mem.Reserve(pkt.Hdr.Addr, pkt.Size)
+			if n.invalidate != nil {
+				n.invalidate(pkt.Hdr.Addr, pkt.Size)
+			}
+		}
+		tail := n.in.TailTime(p.Now(), pkt.Size)
+		n.stats.PacketsIn++
+		n.stats.BytesIn += pkt.Size
+		key := flowKey{src: pkt.Hdr.Src, flow: pkt.Hdr.Flow}
+		c := n.partials[key]
+		if c == nil {
+			c = &Completion{FirstAt: p.Now()}
+			n.partials[key] = c
+		}
+		c.Size += pkt.Size
+		if pkt.Payload != nil {
+			c.Payloads = append(c.Payloads, pkt.Payload)
+		}
+		if pkt.Hdr.Last {
+			c.Hdr = pkt.Hdr
+			c.DoneAt = tail
+			delete(n.partials, key)
+			n.stats.MessagesIn++
+			n.comps.Put(c)
+		}
+		n.in.ReturnCredit()
+	}
+}
+
+func (n *NIC) txLoop(p *sim.Proc) {
+	for {
+		job := n.txq.Get(p)
+		pkts := job.msg.Packets(job.msg.Split)
+		for _, pkt := range pkts {
+			if pkt.Size > 0 {
+				off := int64(pkt.Hdr.Seq) * san.MTU
+				n.mem.Reserve(job.local+off, pkt.Size)
+			}
+			n.out.Send(p, pkt)
+			n.stats.PacketsOut++
+			n.stats.BytesOut += pkt.Size
+		}
+		n.stats.MessagesOut++
+		job.done.Open()
+	}
+}

@@ -1,0 +1,303 @@
+// Package plot renders experiment results as figures: ASCII bar charts for
+// the terminal and self-contained SVG files — the regenerated counterparts
+// of the paper's Figures 3-17.
+package plot
+
+import (
+	"fmt"
+	"strings"
+
+	"activesan/internal/stats"
+)
+
+// asciiWidth is the bar field width in characters.
+const asciiWidth = 44
+
+// bar renders one ASCII bar scaled to max.
+func bar(v, max float64) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * asciiWidth)
+	if n < 0 {
+		n = 0
+	}
+	if n > asciiWidth {
+		n = asciiWidth
+	}
+	return strings.Repeat("#", n)
+}
+
+// ASCII renders a result as terminal bar charts: normalized execution time
+// and host utilization per configuration, stacked breakdown bars, and
+// latency series.
+func ASCII(res *stats.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", res.ID, res.Title)
+
+	if len(res.Runs) > 0 {
+		base := res.Baseline()
+		fmt.Fprintf(&b, "\nnormalized execution time (shorter is faster)\n")
+		for _, r := range res.Runs {
+			nt := 1.0
+			if base.Time > 0 {
+				nt = float64(r.Time) / float64(base.Time)
+			}
+			fmt.Fprintf(&b, "  %-18s |%-*s| %.3f\n", r.Config, asciiWidth, bar(nt, maxNorm(res)), nt)
+		}
+		fmt.Fprintf(&b, "\nhost utilization\n")
+		for _, r := range res.Runs {
+			u := r.HostUtil()
+			fmt.Fprintf(&b, "  %-18s |%-*s| %.3f\n", r.Config, asciiWidth, bar(u, 1), u)
+		}
+		if base.Traffic > 0 {
+			fmt.Fprintf(&b, "\nhost I/O traffic (normalized)\n")
+			for _, r := range res.Runs {
+				tr := float64(r.Traffic) / float64(base.Traffic)
+				fmt.Fprintf(&b, "  %-18s |%-*s| %.3f\n", r.Config, asciiWidth, bar(tr, maxTraffic(res)), tr)
+			}
+		}
+	}
+
+	if len(res.Bars) > 0 {
+		fmt.Fprintf(&b, "\nexecution-time breakdown (b=busy s=stall .=idle)\n")
+		var maxT float64
+		for _, br := range res.Bars {
+			if t := float64(br.Total()); t > maxT {
+				maxT = t
+			}
+		}
+		for _, br := range res.Bars {
+			t := float64(br.Total())
+			scale := func(x float64) int {
+				if maxT <= 0 {
+					return 0
+				}
+				return int(x / maxT * asciiWidth)
+			}
+			busy := scale(float64(br.Busy))
+			stall := scale(float64(br.Stall))
+			idle := scale(t) - busy - stall
+			if idle < 0 {
+				idle = 0
+			}
+			fmt.Fprintf(&b, "  %-10s |%s%s%s|\n", br.Label,
+				strings.Repeat("b", busy), strings.Repeat("s", stall), strings.Repeat(".", idle))
+		}
+	}
+
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, "\nseries: %s\n", s.Name)
+		max := s.MaxY()
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %6g |%-*s| %.3f\n", s.X[i], asciiWidth, bar(s.Y[i], max), s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+func maxNorm(res *stats.Result) float64 {
+	base := res.Baseline()
+	max := 1.0
+	for _, r := range res.Runs {
+		if base.Time > 0 {
+			if nt := float64(r.Time) / float64(base.Time); nt > max {
+				max = nt
+			}
+		}
+	}
+	return max
+}
+
+func maxTraffic(res *stats.Result) float64 {
+	base := res.Baseline()
+	max := 1.0
+	for _, r := range res.Runs {
+		if base.Traffic > 0 {
+			if tr := float64(r.Traffic) / float64(base.Traffic); tr > max {
+				max = tr
+			}
+		}
+	}
+	return max
+}
+
+// svgDoc builds an SVG document incrementally.
+type svgDoc struct {
+	b    strings.Builder
+	w, h int
+}
+
+func (d *svgDoc) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&d.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		x, y, w, h, fill)
+}
+
+func (d *svgDoc) text(x, y float64, size int, anchor, s string) {
+	fmt.Fprintf(&d.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="monospace" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(s))
+}
+
+func (d *svgDoc) line(x1, y1, x2, y2 float64, stroke string) {
+	fmt.Fprintf(&d.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+		x1, y1, x2, y2, stroke)
+}
+
+func (d *svgDoc) polyline(pts []point, stroke string) {
+	var coords []string
+	for _, p := range pts {
+		coords = append(coords, fmt.Sprintf("%.1f,%.1f", p.x, p.y))
+	}
+	fmt.Fprintf(&d.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+		strings.Join(coords, " "), stroke)
+}
+
+type point struct{ x, y float64 }
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Palette for configurations and breakdown segments.
+var (
+	barColors   = []string{"#4878a8", "#6aa84f", "#e69138", "#a64d79", "#999999", "#45818e", "#b45f06", "#674ea7"}
+	busyColor   = "#4878a8"
+	stallColor  = "#cc4125"
+	idleColor   = "#d9d9d9"
+	seriesColor = []string{"#4878a8", "#e69138", "#6aa84f"}
+)
+
+// SVG renders a result as a standalone SVG figure.
+func SVG(res *stats.Result) []byte {
+	const width = 860
+	d := &svgDoc{w: width}
+	y := 30.0
+	var body strings.Builder
+
+	emitTitle := func(s string) {
+		d.text(12, y, 15, "start", s)
+		y += 14
+	}
+	emitTitle(fmt.Sprintf("%s — %s", res.ID, res.Title))
+	y += 10
+
+	if len(res.Runs) > 0 {
+		base := res.Baseline()
+		groups := []struct {
+			name string
+			get  func(stats.Run) float64
+			max  float64
+		}{
+			{"normalized time", func(r stats.Run) float64 {
+				if base.Time == 0 {
+					return 0
+				}
+				return float64(r.Time) / float64(base.Time)
+			}, maxNorm(res)},
+			{"host utilization", stats.Run.HostUtil, 1},
+			{"normalized traffic", func(r stats.Run) float64 {
+				if base.Traffic == 0 {
+					return 0
+				}
+				return float64(r.Traffic) / float64(base.Traffic)
+			}, maxTraffic(res)},
+		}
+		for _, g := range groups {
+			d.text(12, y+10, 12, "start", g.name)
+			y += 16
+			for i, r := range res.Runs {
+				v := g.get(r)
+				w := v / g.max * 560
+				d.rect(180, y, w, 12, barColors[i%len(barColors)])
+				d.text(174, y+10, 11, "end", r.Config)
+				d.text(186+w, y+10, 11, "start", fmt.Sprintf("%.3f", v))
+				y += 16
+			}
+			y += 10
+		}
+	}
+
+	if len(res.Bars) > 0 {
+		d.text(12, y+10, 12, "start", "execution-time breakdown (busy / stall / idle)")
+		y += 16
+		var maxT float64
+		for _, br := range res.Bars {
+			if t := float64(br.Total()); t > maxT {
+				maxT = t
+			}
+		}
+		for _, br := range res.Bars {
+			if maxT <= 0 {
+				break
+			}
+			scale := 560 / maxT
+			x := 180.0
+			wBusy := float64(br.Busy) * scale
+			wStall := float64(br.Stall) * scale
+			wIdle := float64(br.Idle) * scale
+			d.rect(x, y, wBusy, 12, busyColor)
+			d.rect(x+wBusy, y, wStall, 12, stallColor)
+			d.rect(x+wBusy+wStall, y, wIdle, 12, idleColor)
+			d.text(174, y+10, 11, "end", br.Label)
+			y += 16
+		}
+		y += 10
+	}
+
+	if len(res.Series) > 0 {
+		const plotW, plotH = 560, 180
+		d.text(12, y+10, 12, "start", "series")
+		y += 20
+		x0, y0 := 180.0, y
+		// Bounds across all series.
+		var maxX, maxY float64
+		for _, s := range res.Series {
+			for i := range s.X {
+				if s.X[i] > maxX {
+					maxX = s.X[i]
+				}
+				if s.Y[i] > maxY {
+					maxY = s.Y[i]
+				}
+			}
+		}
+		if maxX <= 0 {
+			maxX = 1
+		}
+		if maxY <= 0 {
+			maxY = 1
+		}
+		d.line(x0, y0, x0, y0+plotH, "#333333")
+		d.line(x0, y0+plotH, x0+plotW, y0+plotH, "#333333")
+		for si, s := range res.Series {
+			var pts []point
+			for i := range s.X {
+				pts = append(pts, point{
+					x: x0 + s.X[i]/maxX*plotW,
+					y: y0 + plotH - s.Y[i]/maxY*plotH,
+				})
+			}
+			color := seriesColor[si%len(seriesColor)]
+			d.polyline(pts, color)
+			d.text(x0+plotW+8, y0+14+float64(si)*14, 11, "start", s.Name)
+			d.rect(x0+plotW+0, y0+6+float64(si)*14, 6, 6, color)
+		}
+		d.text(x0+plotW, y0+plotH+14, 10, "end", fmt.Sprintf("x max %g", maxX))
+		d.text(x0-6, y0+8, 10, "end", fmt.Sprintf("%.3g", maxY))
+		y += plotH + 24
+	}
+
+	for _, n := range res.Notes {
+		d.text(12, y+10, 10, "start", n)
+		y += 13
+	}
+
+	body.WriteString(d.b.String())
+	total := fmt.Sprintf(`<?xml version="1.0" encoding="UTF-8"?>
+<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">
+<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>
+%s</svg>
+`, width, int(y)+20, width, int(y)+20, width, int(y)+20, body.String())
+	return []byte(total)
+}

@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"activesan/internal/sim"
+	"activesan/internal/stats"
+)
+
+func sample() *stats.Result {
+	return &stats.Result{
+		ID:    "figX",
+		Title: "sample figure",
+		Runs: []stats.Run{
+			{Config: "normal", Time: 100 * sim.Millisecond, HostBusy: 30 * sim.Millisecond, Traffic: 1000, Hosts: 1},
+			{Config: "active", Time: 60 * sim.Millisecond, HostBusy: 5 * sim.Millisecond, Traffic: 250, Hosts: 1},
+		},
+		Bars: []stats.Bar{
+			{Label: "n-HP", Busy: 30 * sim.Millisecond, Stall: 10 * sim.Millisecond, Idle: 60 * sim.Millisecond},
+			{Label: "a-HP", Busy: 5 * sim.Millisecond, Stall: 1 * sim.Millisecond, Idle: 54 * sim.Millisecond},
+		},
+		Series: []stats.Series{
+			{Name: "normal", X: []float64{2, 4, 8}, Y: []float64{10, 20, 40}},
+			{Name: "active", X: []float64{2, 4, 8}, Y: []float64{10, 12, 14}},
+		},
+		Notes: []string{"a note with <angle brackets> & ampersand"},
+	}
+}
+
+func TestASCIIContainsSections(t *testing.T) {
+	out := ASCII(sample())
+	for _, want := range []string{
+		"figX", "normalized execution time", "host utilization",
+		"host I/O traffic", "breakdown", "series: normal", "normal", "active", "#",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestASCIIBarsScale(t *testing.T) {
+	out := ASCII(sample())
+	// The normal bar (1.000) must be longer than the active bar (0.600).
+	lines := strings.Split(out, "\n")
+	var normLen, actLen int
+	inTime := false
+	for _, l := range lines {
+		if strings.Contains(l, "normalized execution time") {
+			inTime = true
+			continue
+		}
+		if inTime && strings.Contains(l, "normal") && !strings.Contains(l, "active") {
+			normLen = strings.Count(l, "#")
+		}
+		if inTime && strings.Contains(l, "active") {
+			actLen = strings.Count(l, "#")
+			break
+		}
+	}
+	if normLen <= actLen {
+		t.Fatalf("bar lengths normal=%d active=%d, want normal longer", normLen, actLen)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := SVG(sample())
+	// The document must be well-formed XML with an svg root.
+	dec := xml.NewDecoder(strings.NewReader(string(out)))
+	root := ""
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok && root == "" {
+			root = se.Name.Local
+		}
+	}
+	if root != "svg" {
+		t.Fatalf("root element %q, want svg", root)
+	}
+	for _, want := range []string{"figX", "rect", "polyline", "&lt;angle brackets&gt;"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGHandlesEmptyResult(t *testing.T) {
+	out := SVG(&stats.Result{ID: "empty", Title: "nothing"})
+	if !strings.Contains(string(out), "empty") {
+		t.Fatal("empty result did not render")
+	}
+	var v struct{}
+	_ = v
+	if err := xml.Unmarshal(out, &struct {
+		XMLName xml.Name `xml:"svg"`
+	}{}); err != nil {
+		t.Fatalf("empty SVG not parseable: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package report renders experiment results into a self-contained markdown
+// document — the machinery behind `activesim -md`, producing an
+// EXPERIMENTS.md-style record of any run.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"activesan/internal/exp"
+	"activesan/internal/stats"
+)
+
+// Markdown renders the results as one document. Shapes lines (paper-vs-
+// measured) come from the experiment registry.
+func Markdown(title string, scale int64, results []*stats.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", title)
+	fmt.Fprintf(&b, "Problem-size divisor: %d (1 = the paper's full sizes).\n\n", scale)
+
+	// Summary table of headline shapes.
+	fmt.Fprintf(&b, "## Headline shapes\n\n")
+	fmt.Fprintf(&b, "| Experiment | Shape checks |\n|---|---|\n")
+	for _, res := range results {
+		shapes := exp.Shapes(res)
+		if len(shapes) == 0 {
+			shapes = []string{"—"}
+		}
+		fmt.Fprintf(&b, "| %s | %s |\n", res.ID, strings.Join(shapes, "<br>"))
+	}
+	fmt.Fprintf(&b, "\n")
+
+	for _, res := range results {
+		fmt.Fprintf(&b, "## %s — %s\n\n", res.ID, res.Title)
+		if len(res.Runs) > 0 {
+			base := res.Baseline()
+			fmt.Fprintf(&b, "| config | time | norm. time | host util | traffic | norm. traffic | switch util |\n")
+			fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+			for _, r := range res.Runs {
+				nt, tr := 0.0, 0.0
+				if base.Time > 0 {
+					nt = float64(r.Time) / float64(base.Time)
+				}
+				if base.Traffic > 0 {
+					tr = float64(r.Traffic) / float64(base.Traffic)
+				}
+				fmt.Fprintf(&b, "| %s | %v | %.3f | %.3f | %d | %.3f | %.3f |\n",
+					r.Config, r.Time, nt, r.HostUtil(), r.Traffic, tr, r.SwitchUtil())
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		if len(res.Bars) > 0 {
+			fmt.Fprintf(&b, "Execution-time breakdown:\n\n")
+			fmt.Fprintf(&b, "| bar | busy | stall | idle |\n|---|---|---|---|\n")
+			for _, bar := range res.Bars {
+				fmt.Fprintf(&b, "| %s | %v | %v | %v |\n", bar.Label, bar.Busy, bar.Stall, bar.Idle)
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		for _, s := range res.Series {
+			fmt.Fprintf(&b, "Series `%s`:\n\n| x | y |\n|---|---|\n", s.Name)
+			for i := range s.X {
+				fmt.Fprintf(&b, "| %g | %.4g |\n", s.X[i], s.Y[i])
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		for _, n := range res.Notes {
+			fmt.Fprintf(&b, "> %s\n", n)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// Compare diffs two result sets (e.g. before and after a configuration
+// change) by experiment id, reporting per-config time and traffic deltas —
+// the regression check for calibration changes.
+func Compare(before, after []*stats.Result) string {
+	var b strings.Builder
+	byID := make(map[string]*stats.Result, len(before))
+	for _, r := range before {
+		byID[r.ID] = r
+	}
+	fmt.Fprintf(&b, "%-10s %-16s %14s %14s %9s %9s\n",
+		"experiment", "config", "time before", "time after", "Δtime", "Δtraffic")
+	for _, ra := range after {
+		rb, ok := byID[ra.ID]
+		if !ok {
+			fmt.Fprintf(&b, "%-10s (new experiment)\n", ra.ID)
+			continue
+		}
+		for _, runA := range ra.Runs {
+			runB, ok := rb.Run(runA.Config)
+			if !ok {
+				fmt.Fprintf(&b, "%-10s %-16s (new config)\n", ra.ID, runA.Config)
+				continue
+			}
+			dt := pctDelta(float64(runB.Time), float64(runA.Time))
+			dtr := pctDelta(float64(runB.Traffic), float64(runA.Traffic))
+			fmt.Fprintf(&b, "%-10s %-16s %14v %14v %8.2f%% %8.2f%%\n",
+				ra.ID, runA.Config, runB.Time, runA.Time, dt, dtr)
+		}
+		for _, sa := range ra.Series {
+			for _, sb := range rb.Series {
+				if sa.Name != sb.Name {
+					continue
+				}
+				fmt.Fprintf(&b, "%-10s series %-20q max %.4g -> %.4g (%+.2f%%)\n",
+					ra.ID, sa.Name, sb.MaxY(), sa.MaxY(), pctDelta(sb.MaxY(), sa.MaxY()))
+			}
+		}
+	}
+	return b.String()
+}
+
+func pctDelta(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * (after - before) / before
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"activesan/internal/sim"
+	"activesan/internal/stats"
+)
+
+func TestMarkdownStructure(t *testing.T) {
+	res := &stats.Result{
+		ID:    "fig9",
+		Title: "Grep",
+		Runs: []stats.Run{
+			{Config: "normal", Time: 25 * sim.Millisecond, Traffic: 1000, Hosts: 1},
+			{Config: "active", Time: 20 * sim.Millisecond, Traffic: 30, Hosts: 1},
+		},
+		Bars:   []stats.Bar{{Label: "n-HP", Busy: 1, Stall: 2, Idle: 3}},
+		Series: []stats.Series{{Name: "lat", X: []float64{2}, Y: []float64{7}}},
+		Notes:  []string{"a note"},
+	}
+	md := Markdown("Run report", 4, []*stats.Result{res})
+	for _, want := range []string{
+		"# Run report", "divisor: 4", "## Headline shapes",
+		"## fig9 — Grep", "| normal |", "| active |",
+		"| n-HP |", "Series `lat`", "> a note",
+		"active speedup 1.25", // the fig9 shape line computed from the runs
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownEmptyResults(t *testing.T) {
+	md := Markdown("empty", 1, nil)
+	if !strings.Contains(md, "# empty") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	before := []*stats.Result{{
+		ID: "fig9",
+		Runs: []stats.Run{
+			{Config: "normal", Time: 100, Traffic: 1000},
+			{Config: "active", Time: 80, Traffic: 100},
+		},
+		Series: []stats.Series{{Name: "speedup", X: []float64{1}, Y: []float64{2}}},
+	}}
+	after := []*stats.Result{{
+		ID: "fig9",
+		Runs: []stats.Run{
+			{Config: "normal", Time: 110, Traffic: 1000},
+			{Config: "active", Time: 80, Traffic: 90},
+			{Config: "brand-new", Time: 5},
+		},
+		Series: []stats.Series{{Name: "speedup", X: []float64{1}, Y: []float64{3}}},
+	}, {ID: "fig99"}}
+	out := Compare(before, after)
+	for _, want := range []string{
+		"fig9", "normal", "10.00%", "-10.00%", "(new config)",
+		"(new experiment)", `series "speedup"`, "+50.00%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}

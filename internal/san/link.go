@@ -1,0 +1,126 @@
+package san
+
+import (
+	"activesan/internal/sim"
+)
+
+// LinkConfig sets a link's physical parameters.
+type LinkConfig struct {
+	// BandwidthBytesPerSec is the serialization rate (paper: 1 GB/s per
+	// direction).
+	BandwidthBytesPerSec float64
+	// Propagation is the wire flight time.
+	Propagation sim.Time
+	// Credits is the receiver's input buffering in packets; the sender
+	// consumes one credit per packet and the receiver returns it when the
+	// packet leaves its input buffer (credit-based flow control per the
+	// InfiniBand model the paper follows).
+	Credits int
+}
+
+// DefaultLinkConfig returns the paper's link: 1 GB/s, with a short wire and
+// eight packets of input buffering per link.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		BandwidthBytesPerSec: 1e9,
+		Propagation:          10 * sim.Nanosecond,
+		Credits:              8,
+	}
+}
+
+// LinkStats counts traffic on one direction of a link.
+type LinkStats struct {
+	Packets int64
+	Bytes   int64 // payload bytes
+}
+
+// Link is one direction of a cable: packets are serialized at the sender,
+// fly for the propagation delay, and appear at the receiver's input queue.
+// Delivery events fire at *head* arrival (virtual cut-through): the receiver
+// may begin routing/filling immediately, while per-link serialization keeps
+// bandwidth honest.
+type Link struct {
+	eng     *sim.Engine
+	name    string
+	cfg     LinkConfig
+	line    *sim.Server
+	credits *sim.Semaphore
+	rx      *sim.Queue[*Packet]
+	stats   LinkStats
+}
+
+// NewLink builds a link.
+func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
+	if cfg.Credits <= 0 {
+		panic("san: link needs at least one credit")
+	}
+	return &Link{
+		eng:     eng,
+		name:    name,
+		cfg:     cfg,
+		line:    sim.NewServer(eng, name+".line"),
+		credits: sim.NewSemaphore(cfg.Credits),
+		rx:      sim.NewQueue[*Packet](),
+	}
+}
+
+// Name returns the link's debug name.
+func (l *Link) Name() string { return l.name }
+
+// Config returns the link parameters.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a copy of the traffic counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Utilization reports line occupancy over elapsed time.
+func (l *Link) Utilization() float64 { return l.line.Utilization() }
+
+// FillRate returns the rate at which a delivered packet's payload streams
+// into the receiver, for valid-bit modelling.
+func (l *Link) FillRate() float64 { return l.cfg.BandwidthBytesPerSec }
+
+// Send transmits pkt, blocking the caller for credit acquisition and
+// serialization start. The caller regains control once the packet is on the
+// wire (its tail has left the sender), modelling a DMA engine that moves to
+// the next packet as soon as the line frees.
+func (l *Link) Send(p *sim.Proc, pkt *Packet) {
+	l.credits.Acquire(p)
+	end := l.line.Reserve(sim.TransferTime(pkt.Wire(), l.cfg.BandwidthBytesPerSec))
+	headAt := end - sim.TransferTime(pkt.Size, l.cfg.BandwidthBytesPerSec) + l.cfg.Propagation
+	l.stats.Packets++
+	l.stats.Bytes += pkt.Size
+	l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
+	p.SleepUntil(end)
+}
+
+// SendAsync is Send without blocking for serialization (the caller only
+// blocks if no credit is available). Used by senders that pipeline many
+// packets from one process.
+func (l *Link) SendAsync(p *sim.Proc, pkt *Packet) {
+	l.credits.Acquire(p)
+	end := l.line.Reserve(sim.TransferTime(pkt.Wire(), l.cfg.BandwidthBytesPerSec))
+	headAt := end - sim.TransferTime(pkt.Size, l.cfg.BandwidthBytesPerSec) + l.cfg.Propagation
+	l.stats.Packets++
+	l.stats.Bytes += pkt.Size
+	l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
+}
+
+// Recv blocks until a packet's head arrives and returns it. The receiver
+// owns the packet's input-buffer credit and must call ReturnCredit once the
+// packet has left its input stage.
+func (l *Link) Recv(p *sim.Proc) *Packet {
+	return l.rx.Get(p)
+}
+
+// TryRecv returns a delivered packet without blocking.
+func (l *Link) TryRecv() (*Packet, bool) { return l.rx.TryGet() }
+
+// ReturnCredit hands one input-buffer slot back to the sender.
+func (l *Link) ReturnCredit() { l.credits.Release() }
+
+// TailTime returns when the last byte of a packet delivered at headAt
+// finishes arriving.
+func (l *Link) TailTime(headAt sim.Time, size int64) sim.Time {
+	return headAt + sim.TransferTime(size, l.cfg.BandwidthBytesPerSec)
+}

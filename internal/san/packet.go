@@ -1,0 +1,159 @@
+// Package san models the system-area network of the paper: 128-bit packet
+// headers carrying a 64-bit active sub-header, 512-byte MTU links at 1 GB/s
+// with credit-based flow control, routing tables, and a virtual cut-through
+// switch based on a central output queue (the IBM Switch-3 scheme the paper
+// starts from). The active extensions live in package aswitch.
+package san
+
+import "fmt"
+
+// NodeID identifies an endpoint or switch in the fabric.
+type NodeID int
+
+// NoNode is the zero value guard for unset destinations.
+const NoNode NodeID = -1
+
+// Standard fabric parameters from the paper's Section 4.
+const (
+	// MTU is the maximum transfer unit (512 bytes for all experiments).
+	MTU int64 = 512
+	// HeaderBytes is the 128-bit packet header.
+	HeaderBytes int64 = 16
+)
+
+// Type classifies a packet's role.
+type Type int
+
+// Packet types.
+const (
+	// Data carries a payload segment of a bulk message.
+	Data Type = iota
+	// ActiveMsg invokes a handler on an active switch (the paper's active
+	// message with a 6-bit handler ID in the header).
+	ActiveMsg
+	// IORequest asks a TCA to perform a disk operation.
+	IORequest
+	// Control carries small notifications (completions, doorbells).
+	Control
+)
+
+func (t Type) String() string {
+	switch t {
+	case Data:
+		return "data"
+	case ActiveMsg:
+		return "active"
+	case IORequest:
+		return "ioreq"
+	case Control:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// Header is the paper's 128-bit header. The active sub-header (64 bits)
+// holds a 6-bit handler ID, a 32-bit address to which the packet's data
+// buffer is memory-mapped on the active switch, and — for the multi-CPU
+// extension of Section 5 — a switch CPU ID.
+type Header struct {
+	Src, Dst NodeID
+	Type     Type
+
+	// HandlerID selects the switch handler (6 bits: 0..63).
+	HandlerID int
+	// Addr is the 32-bit mapped address of this packet's payload in the
+	// handler's address space.
+	Addr int64
+	// CPUID directs dispatch to a specific switch CPU (-1 = any).
+	CPUID int
+
+	// Flow groups the packets of one message for reassembly; Seq orders
+	// them; Last marks the final packet.
+	Flow int64
+	Seq  int
+	Last bool
+}
+
+// MaxHandlerID is the largest handler index encodable in the 6-bit field.
+const MaxHandlerID = 63
+
+// Validate checks the encodable ranges of the active sub-header.
+func (h Header) Validate() error {
+	if h.HandlerID < 0 || h.HandlerID > MaxHandlerID {
+		return fmt.Errorf("san: handler ID %d outside 6-bit range", h.HandlerID)
+	}
+	if h.Addr < 0 || h.Addr > 0xFFFF_FFFF {
+		return fmt.Errorf("san: mapped address %#x outside 32-bit range", h.Addr)
+	}
+	return nil
+}
+
+// Packet is one MTU-or-smaller unit on a link. Payload carries the
+// functional content (the benchmarks really transform their data); Size is
+// the architectural size used for all timing, so payloads may be logical
+// descriptors for workloads too large to materialize.
+type Packet struct {
+	Hdr     Header
+	Size    int64 // payload bytes (header accounted separately by links)
+	Payload any
+}
+
+// Wire returns the packet's on-wire size including the header.
+func (p *Packet) Wire() int64 { return p.Size + HeaderBytes }
+
+// Message is a logical transfer larger than one packet. Senders segment it;
+// receivers reassemble by (Src, Flow).
+type Message struct {
+	Hdr     Header
+	Size    int64
+	Payload any
+	// Split, when set, provides per-packet payloads (see Packets).
+	Split func(i int, off, n int64) any
+}
+
+// Packets segments m into MTU-sized packets. The payload rides on the first
+// packet unless a split function is available (the argument wins over
+// m.Split), in which case split(i, off, n) provides packet i's payload
+// covering [off, off+n) of the message.
+func (m *Message) Packets(split func(i int, off, n int64) any) []*Packet {
+	if split == nil {
+		split = m.Split
+	}
+	if m.Size <= 0 {
+		pkt := &Packet{Hdr: m.Hdr, Size: 0, Payload: m.Payload}
+		pkt.Hdr.Seq = 0
+		pkt.Hdr.Last = true
+		return []*Packet{pkt}
+	}
+	n := int((m.Size + MTU - 1) / MTU)
+	pkts := make([]*Packet, 0, n)
+	for i, off := 0, int64(0); off < m.Size; i, off = i+1, off+MTU {
+		sz := m.Size - off
+		if sz > MTU {
+			sz = MTU
+		}
+		pkt := &Packet{Hdr: m.Hdr, Size: sz}
+		pkt.Hdr.Seq = i
+		pkt.Hdr.Addr = m.Hdr.Addr + off
+		pkt.Hdr.Last = off+sz == m.Size
+		if split != nil {
+			pkt.Payload = split(i, off, sz)
+		} else if i == 0 {
+			pkt.Payload = m.Payload
+		}
+		pkts = append(pkts, pkt)
+	}
+	return pkts
+}
+
+// SliceSplit returns a split function over a byte slice, for messages whose
+// payload is literal data.
+func SliceSplit(data []byte) func(i int, off, n int64) any {
+	return func(_ int, off, n int64) any {
+		if data == nil {
+			return nil
+		}
+		return data[off : off+n]
+	}
+}

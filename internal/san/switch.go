@@ -1,0 +1,245 @@
+package san
+
+import (
+	"fmt"
+
+	"activesan/internal/sim"
+)
+
+// SwitchConfig sets the base switch parameters.
+type SwitchConfig struct {
+	// Ports is the number of external ports.
+	Ports int
+	// RoutingLatency is the per-packet routing decision time (paper: 100 ns,
+	// "similar to current InfiniBand switches").
+	RoutingLatency sim.Time
+	// PoolPackets sizes the central output queue's shared buffer pool.
+	PoolPackets int
+	// Link configures every attached link.
+	Link LinkConfig
+}
+
+// DefaultSwitchConfig returns the paper's switch: 1 GB/s bidirectional
+// ports, 100 ns routing latency, virtual cut-through.
+func DefaultSwitchConfig(ports int) SwitchConfig {
+	return SwitchConfig{
+		Ports:          ports,
+		RoutingLatency: 100 * sim.Nanosecond,
+		PoolPackets:    64,
+		Link:           DefaultLinkConfig(),
+	}
+}
+
+// LocalSink receives packets whose destination is the switch itself. The
+// base switch has none; the active switch installs its data-buffer admission
+// here. Deliver runs in the input port's process and may block — that is
+// exactly the backpressure the paper's credit scheme provides.
+type LocalSink interface {
+	Deliver(p *sim.Proc, pkt *Packet, fillRate float64)
+}
+
+// Port is one external attachment: In carries packets from the device into
+// the switch, Out carries packets to the device.
+type Port struct {
+	In  *Link
+	Out *Link
+}
+
+// SwitchStats counts switch activity.
+type SwitchStats struct {
+	Routed  int64 // packets forwarded between ports
+	Local   int64 // packets consumed by the local sink
+	Dropped int64 // packets with no route (counted, then dropped)
+	// MaxQueueDepth is the deepest any output queue got; MinPoolFree is
+	// the central pool's low-water mark — the congestion signature of the
+	// central-output-queue design.
+	MaxQueueDepth int
+	MinPoolFree   int
+}
+
+// Switch is the conventional central-output-queue switch. Each input port
+// runs a routing process; each output port runs a transmit process; a shared
+// buffer pool provides the central queue.
+type Switch struct {
+	eng    *sim.Engine
+	id     NodeID
+	name   string
+	cfg    SwitchConfig
+	ports  []Port
+	routes map[NodeID]int
+	pool   *sim.Semaphore
+	outQ   []*sim.Queue[*Packet]
+	local  LocalSink
+	stats  SwitchStats
+
+	started bool
+}
+
+// NewSwitch builds a switch with the given identity. Attach links with
+// AttachPort, set routes with SetRoute, then Start it.
+func NewSwitch(eng *sim.Engine, id NodeID, name string, cfg SwitchConfig) *Switch {
+	if cfg.Ports <= 0 {
+		panic("san: switch needs ports")
+	}
+	s := &Switch{
+		eng:    eng,
+		id:     id,
+		name:   name,
+		cfg:    cfg,
+		ports:  make([]Port, cfg.Ports),
+		routes: make(map[NodeID]int),
+		pool:   sim.NewSemaphore(cfg.PoolPackets),
+		outQ:   make([]*sim.Queue[*Packet], cfg.Ports),
+	}
+	for i := range s.outQ {
+		s.outQ[i] = sim.NewQueue[*Packet]()
+	}
+	s.stats.MinPoolFree = cfg.PoolPackets
+	return s
+}
+
+// ID returns the switch's node ID.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Name returns the switch's debug name.
+func (s *Switch) Name() string { return s.name }
+
+// Config returns the switch configuration.
+func (s *Switch) Config() SwitchConfig { return s.cfg }
+
+// Stats returns a copy of the counters.
+func (s *Switch) Stats() SwitchStats { return s.stats }
+
+// Port returns port i's links.
+func (s *Switch) Port(i int) Port { return s.ports[i] }
+
+// AttachPort wires port i: in carries traffic from the device, out carries
+// traffic to it. Both must be created by the caller (cluster wiring owns
+// link naming).
+func (s *Switch) AttachPort(i int, in, out *Link) {
+	if s.started {
+		panic("san: AttachPort after Start")
+	}
+	if s.ports[i].In != nil {
+		panic(fmt.Sprintf("san: %s port %d already attached", s.name, i))
+	}
+	s.ports[i] = Port{In: in, Out: out}
+}
+
+// SetRoute directs packets for dst out of port. Routes may be updated before
+// Start only.
+func (s *Switch) SetRoute(dst NodeID, port int) {
+	if s.started {
+		panic("san: SetRoute after Start")
+	}
+	if port < 0 || port >= s.cfg.Ports {
+		panic(fmt.Sprintf("san: route to port %d of %d-port switch", port, s.cfg.Ports))
+	}
+	s.routes[dst] = port
+}
+
+// Route returns the output port for dst, or -1 if unroutable.
+func (s *Switch) Route(dst NodeID) int {
+	if p, ok := s.routes[dst]; ok {
+		return p
+	}
+	return -1
+}
+
+// SetLocalSink installs the handler for packets addressed to the switch
+// itself (the active extension).
+func (s *Switch) SetLocalSink(sink LocalSink) {
+	if s.started {
+		panic("san: SetLocalSink after Start")
+	}
+	s.local = sink
+}
+
+// Start spawns the per-port processes. Unattached ports are skipped.
+func (s *Switch) Start() {
+	if s.started {
+		panic("san: double Start")
+	}
+	s.started = true
+	for i := range s.ports {
+		if s.ports[i].In != nil {
+			i := i
+			s.eng.Spawn(fmt.Sprintf("%s.in%d", s.name, i), func(p *sim.Proc) { s.inputLoop(p, i) })
+		}
+		if s.ports[i].Out != nil {
+			i := i
+			s.eng.Spawn(fmt.Sprintf("%s.out%d", s.name, i), func(p *sim.Proc) { s.outputLoop(p, i) })
+		}
+	}
+}
+
+// inputLoop routes packets arriving on port i. A packet for the switch
+// itself goes to the local sink (blocking for data-buffer admission); other
+// packets take a routing decision, a central-queue slot, and move to their
+// output queue.
+func (s *Switch) inputLoop(p *sim.Proc, i int) {
+	in := s.ports[i].In
+	for {
+		pkt := in.Recv(p)
+		p.Sleep(s.cfg.RoutingLatency)
+		s.eng.Tracef("%s: in%d %s pkt src=%d dst=%d flow=%d seq=%d size=%d",
+			s.name, i, pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq, pkt.Size)
+		if pkt.Hdr.Dst == s.id {
+			s.stats.Local++
+			if s.local == nil {
+				s.stats.Dropped++
+				in.ReturnCredit()
+				continue
+			}
+			s.local.Deliver(p, pkt, in.FillRate())
+			in.ReturnCredit()
+			continue
+		}
+		out := s.Route(pkt.Hdr.Dst)
+		if out < 0 {
+			s.stats.Dropped++
+			in.ReturnCredit()
+			continue
+		}
+		s.pool.Acquire(p)
+		s.stats.Routed++
+		s.outQ[out].Put(pkt)
+		s.noteDepth(out)
+		in.ReturnCredit()
+	}
+}
+
+// noteDepth records queue and pool occupancy extremes.
+func (s *Switch) noteDepth(out int) {
+	if d := s.outQ[out].Len(); d > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = d
+	}
+	if f := s.pool.Available(); f < s.stats.MinPoolFree {
+		s.stats.MinPoolFree = f
+	}
+}
+
+// outputLoop drains output queue i onto its link.
+func (s *Switch) outputLoop(p *sim.Proc, i int) {
+	out := s.ports[i].Out
+	for {
+		pkt := s.outQ[i].Get(p)
+		out.Send(p, pkt)
+		s.pool.Release()
+	}
+}
+
+// Inject lets the switch itself source a packet toward dst (the active
+// switch's send unit uses this: the crossbar is logically (N+1)xN). It
+// blocks for a central-queue slot, then enqueues on the proper output.
+func (s *Switch) Inject(p *sim.Proc, pkt *Packet) error {
+	out := s.Route(pkt.Hdr.Dst)
+	if out < 0 {
+		return fmt.Errorf("san: %s cannot route injected packet to node %d", s.name, pkt.Hdr.Dst)
+	}
+	s.pool.Acquire(p)
+	s.stats.Routed++
+	s.outQ[out].Put(pkt)
+	s.noteDepth(out)
+	return nil
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq), which keeps the simulation deterministic.
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// all interaction must come from the engine's own callbacks or from the
+// single currently-running Proc.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	fired  int64
+
+	// procs counts live (spawned, not yet finished) processes, for leak
+	// detection in tests.
+	procs int
+	// all records every spawned process so Shutdown can unwind the
+	// goroutines of perpetual servers (switch port loops and the like).
+	all []*Proc
+
+	// fatal holds a panic raised inside a process goroutine, re-raised in
+	// engine context by the next step().
+	fatal *procPanic
+
+	stopped bool
+	tracing bool
+	tracer  func(t Time, msg string)
+}
+
+// defaultTracer, when set, is installed on every new engine — the hook the
+// CLI's -trace flag uses to observe experiments that build their own
+// engines internally.
+var defaultTracer func(t Time, msg string)
+
+// SetDefaultTracer installs (or clears, with nil) a tracer for all engines
+// created afterwards.
+func SetDefaultTracer(fn func(t Time, msg string)) { defaultTracer = fn }
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	e := &Engine{}
+	if defaultTracer != nil {
+		e.SetTracer(defaultTracer)
+	}
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// LiveProcs reports how many spawned processes have not yet returned.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// Events reports how many events have fired — the simulation's work metric.
+func (e *Engine) Events() int64 { return e.fired }
+
+// Schedule runs fn at the given absolute time, which must not be in the
+// past.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn after the given delay.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called, and
+// returns the final simulation time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline (if the simulation did not already pass it).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Shutdown unwinds every still-blocked process goroutine. Call it after the
+// final Run of a simulation so perpetual server processes do not leak
+// goroutines; the engine must not be used afterwards.
+func (e *Engine) Shutdown() {
+	for _, p := range e.all {
+		if !p.done {
+			p.killed = true
+			p.waiting = false
+			p.step()
+		}
+	}
+	e.all = nil
+}
+
+// SetTracer installs a trace sink; nil disables tracing.
+func (e *Engine) SetTracer(fn func(t Time, msg string)) {
+	e.tracer = fn
+	e.tracing = fn != nil
+}
+
+// Tracef emits a trace line if tracing is enabled.
+func (e *Engine) Tracef(format string, args ...any) {
+	if e.tracing {
+		e.tracer(e.now, fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that the engine resumes one at a
+// time. Inside the process function, call Sleep/WaitOn/etc. to advance
+// simulated time; the engine never runs two processes (or a process and an
+// event callback) concurrently, so process code may touch shared simulation
+// state without locks.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+
+	// waiting is true while the process is parked on a condition; the
+	// synchronization primitives in this package wake it via unpark.
+	waiting bool
+
+	// killed asks the process to unwind at its next block point; see
+	// Engine.Shutdown.
+	killed bool
+}
+
+// errKilled unwinds a process goroutine during Engine.Shutdown.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: proc killed by Shutdown" }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the debug name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Spawn creates a process running fn, starting at the current simulated
+// time. fn runs on its own goroutine but only while the engine is paused, so
+// it may freely use the engine and other simulation objects.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is like Spawn but the process begins at the given absolute time.
+func (e *Engine) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	e.all = append(e.all, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedError); !ok {
+					// Surface the panic in engine context: step() re-raises
+					// it from whoever called Run, so a handler bug fails
+					// the test instead of killing the process.
+					e.fatal = &procPanic{proc: p.name, value: r}
+				}
+			}
+			p.done = true
+			e.procs--
+			p.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(killedError{})
+		}
+		fn(p)
+	}()
+	e.Schedule(at, p.step)
+	return p
+}
+
+// procPanic wraps a panic raised inside a process goroutine.
+type procPanic struct {
+	proc  string
+	value any
+}
+
+func (pp *procPanic) Error() string {
+	return fmt.Sprintf("sim: proc %q panicked: %v", pp.proc, pp.value)
+}
+
+// step transfers control from the engine to the process goroutine and waits
+// for it to block or finish. It runs in engine context.
+func (p *Proc) step() {
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.eng.fatal != nil {
+		pp := p.eng.fatal
+		p.eng.fatal = nil
+		panic(pp)
+	}
+}
+
+// block hands control back to the engine and parks until rescheduled. It
+// must be called from the process goroutine.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedError{})
+	}
+}
+
+// Sleep suspends the process for d simulated time (d <= 0 is a no-op that
+// still yields to same-time events scheduled earlier).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in %s", d, p.name))
+	}
+	p.eng.Schedule(p.eng.now+d, p.step)
+	p.block()
+}
+
+// SleepUntil suspends the process until the given absolute time; times in
+// the past panic.
+func (p *Proc) SleepUntil(at Time) {
+	if at < p.eng.now {
+		panic(fmt.Sprintf("sim: SleepUntil into the past (%v < %v) in %s", at, p.eng.now, p.name))
+	}
+	p.eng.Schedule(at, p.step)
+	p.block()
+}
+
+// park blocks the process with no scheduled wake-up; something must later
+// call unpark. Used by the synchronization primitives in this package.
+func (p *Proc) park() {
+	p.waiting = true
+	p.block()
+}
+
+// unpark schedules a parked process to continue at the current time. It is
+// safe to call from engine or process context.
+func (p *Proc) unpark() {
+	if !p.waiting {
+		panic("sim: unpark of non-waiting proc " + p.name)
+	}
+	p.waiting = false
+	p.eng.Schedule(p.eng.now, p.step)
+}
+
+// unparkIfWaiting is unpark for conditions whose waiters re-check in a loop:
+// a process that is already scheduled to run will see the new state anyway,
+// so a second wake-up is a no-op rather than an error.
+func (p *Proc) unparkIfWaiting() {
+	if p.waiting {
+		p.unpark()
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+// Sampler records a value at fixed simulated intervals — utilization or
+// queue-depth timelines for figures. It runs as a process; Stop it before
+// the simulation ends (a live sampler keeps the event queue non-empty).
+type Sampler struct {
+	X []float64 // sample times, seconds
+	Y []float64
+
+	stop bool
+}
+
+// StartSampler begins sampling fn every interval, starting one interval in.
+func StartSampler(eng *Engine, interval Time, fn func() float64) *Sampler {
+	s := &Sampler{}
+	eng.Spawn("sampler", func(p *Proc) {
+		for !s.stop {
+			p.Sleep(interval)
+			if s.stop {
+				return
+			}
+			s.X = append(s.X, p.Now().Seconds())
+			s.Y = append(s.Y, fn())
+		}
+	})
+	return s
+}
+
+// Stop ends sampling at the next tick.
+func (s *Sampler) Stop() { s.stop = true }
+
+// N reports how many samples were taken.
+func (s *Sampler) N() int { return len(s.X) }

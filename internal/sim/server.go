@@ -1,0 +1,73 @@
+package sim
+
+// Server models an exclusive-use resource with FIFO queueing — a memory
+// controller, a bus, a DMA engine, a link in one direction. A caller
+// occupies the server for a computed service time; contention shows up as
+// queueing delay. The server tracks total busy time for utilization
+// reporting.
+type Server struct {
+	eng  *Engine
+	name string
+
+	// freeAt is the instant the server finishes its last accepted job.
+	freeAt Time
+	busy   Time
+	jobs   int64
+}
+
+// NewServer returns an idle server.
+func NewServer(eng *Engine, name string) *Server {
+	return &Server{eng: eng, name: name}
+}
+
+// Name returns the server's debug name.
+func (s *Server) Name() string { return s.name }
+
+// BusyTime returns cumulative service time accepted so far.
+func (s *Server) BusyTime() Time { return s.busy }
+
+// Jobs returns how many requests the server has accepted.
+func (s *Server) Jobs() int64 { return s.jobs }
+
+// Use occupies the server for d starting as soon as it is free, blocking the
+// calling process until the job completes. It returns the completion time.
+func (s *Server) Use(p *Proc, d Time) Time {
+	end := s.Reserve(d)
+	p.SleepUntil(end)
+	return end
+}
+
+// Reserve books d of service time without blocking and returns the job's
+// completion instant. Use it for fire-and-forget occupancy (e.g. DMA traffic
+// charged against a memory controller) where the caller does not need to
+// wait.
+func (s *Server) Reserve(d Time) Time {
+	if d < 0 {
+		panic("sim: negative service time")
+	}
+	start := s.freeAt
+	if start < s.eng.now {
+		start = s.eng.now
+	}
+	s.freeAt = start + d
+	s.busy += d
+	s.jobs++
+	return s.freeAt
+}
+
+// NextFree reports when the server will next be idle.
+func (s *Server) NextFree() Time {
+	if s.freeAt < s.eng.now {
+		return s.eng.now
+	}
+	return s.freeAt
+}
+
+// Utilization returns busy time divided by elapsed time (0 if no time has
+// passed).
+func (s *Server) Utilization() float64 {
+	if s.eng.now == 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(s.eng.now)
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"activesan/internal/sim"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		ID:    "figX",
+		Title: "sample",
+		Runs: []Run{
+			{Config: "normal", Time: 100 * sim.Millisecond, HostBusy: 20 * sim.Millisecond,
+				HostStall: 10 * sim.Millisecond, Traffic: 1000, Hosts: 1},
+			{Config: "active", Time: 50 * sim.Millisecond, HostBusy: 5 * sim.Millisecond,
+				SwitchBusy: 30 * sim.Millisecond, Traffic: 250, Hosts: 1},
+		},
+	}
+}
+
+func TestHostUtil(t *testing.T) {
+	r := Run{Time: 100, HostBusy: 20, HostStall: 10, Hosts: 1}
+	if got := r.HostUtil(); got != 0.3 {
+		t.Fatalf("util = %v, want 0.3", got)
+	}
+	r.Hosts = 2
+	if got := r.HostUtil(); got != 0.15 {
+		t.Fatalf("per-host util = %v, want 0.15", got)
+	}
+	if (Run{}).HostUtil() != 0 {
+		t.Fatal("zero run should have zero util")
+	}
+}
+
+func TestSwitchUtil(t *testing.T) {
+	r := Run{Time: 100, SwitchBusy: 25, SwitchStall: 25}
+	if got := r.SwitchUtil(); got != 0.5 {
+		t.Fatalf("switch util = %v, want 0.5", got)
+	}
+}
+
+func TestSpeedupAndBaseline(t *testing.T) {
+	res := sampleResult()
+	if res.Baseline().Config != "normal" {
+		t.Fatal("baseline is not the normal run")
+	}
+	if got := res.Speedup("active"); got != 2.0 {
+		t.Fatalf("speedup = %v, want 2", got)
+	}
+	if res.Speedup("missing") != 0 {
+		t.Fatal("missing config should give 0 speedup")
+	}
+}
+
+func TestBreakdownBar(t *testing.T) {
+	b := BreakdownBar("x", 30, 20, 100, 1)
+	if b.Busy != 30 || b.Stall != 20 || b.Idle != 50 {
+		t.Fatalf("bar = %+v", b)
+	}
+	if b.Total() != 100 {
+		t.Fatalf("total = %v", b.Total())
+	}
+	// Per-CPU averaging.
+	b = BreakdownBar("x", 40, 0, 100, 4)
+	if b.Busy != 10 || b.Idle != 90 {
+		t.Fatalf("averaged bar = %+v", b)
+	}
+	// Idle clamps at zero if accounting overshoots.
+	b = BreakdownBar("x", 80, 40, 100, 1)
+	if b.Idle != 0 {
+		t.Fatalf("idle = %v, want clamp to 0", b.Idle)
+	}
+}
+
+func TestFormatContainsEverything(t *testing.T) {
+	res := sampleResult()
+	res.Bars = []Bar{{Label: "n-HP", Busy: 1, Stall: 2, Idle: 3}}
+	res.Series = []Series{{Name: "lat", X: []float64{2, 4}, Y: []float64{1.5, 2.5}}}
+	res.Notes = []string{"hello note"}
+	out := res.Format()
+	for _, want := range []string{"figX", "normal", "active", "n-HP", "series lat", "hello note", "0.250"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpeedupSeries(t *testing.T) {
+	normal := Series{X: []float64{2, 4, 8}, Y: []float64{10, 20, 40}}
+	active := Series{X: []float64{2, 4, 8}, Y: []float64{10, 10, 10}}
+	sp := SpeedupSeries("speedup", normal, active)
+	if len(sp.X) != 3 {
+		t.Fatalf("points = %d", len(sp.X))
+	}
+	if sp.Y[0] != 1 || sp.Y[2] != 4 {
+		t.Fatalf("speedups = %v", sp.Y)
+	}
+	if sp.MaxY() != 4 {
+		t.Fatalf("max = %v", sp.MaxY())
+	}
+	// Mismatched X values are skipped rather than misaligned.
+	active2 := Series{X: []float64{2, 8}, Y: []float64{5, 5}}
+	sp2 := SpeedupSeries("s", normal, active2)
+	if len(sp2.X) != 2 || sp2.Y[1] != 8 {
+		t.Fatalf("sparse speedups = %+v", sp2)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.N() != 0 {
+		t.Fatal("empty histogram misbehaves")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.Mean() != 50 { // (1+..+100)/100 = 50.5 truncated
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if q := h.Quantile(0.5); q != 51 {
+		t.Fatalf("p50 = %v, want 51 (nearest rank)", q)
+	}
+	if q := h.Quantile(0.99); q != 100 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if h.Quantile(0) != 1 || h.Max() != 100 {
+		t.Fatalf("extremes = %v..%v", h.Quantile(0), h.Max())
+	}
+	// Adding after a quantile query re-sorts.
+	h.Add(sim.Time(1000))
+	if h.Max() != 1000 {
+		t.Fatal("late sample lost")
+	}
+}

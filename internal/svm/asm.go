@@ -1,0 +1,328 @@
+package svm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses handler assembly into a Program. The syntax is
+// MIPS-flavoured, one instruction per line:
+//
+//	; comments run to end of line
+//	loop:                    ; labels end with a colon
+//	  lb   r4, 0(r2)         ; load byte at r2+0
+//	  addi r2, r2, 1
+//	  blt  r4, r5, loop      ; branches name labels
+//	  emit r4
+//	  stop
+//
+// Registers are r0..r31 (r0 reads as zero; writes to it are discarded).
+// Immediates are decimal or 0x-hex.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		instr int
+		label string
+	}
+	p := &Program{Labels: make(map[string]int)}
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validLabel(label) {
+				return nil, fmt.Errorf("svm: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("svm: line %d: duplicate label %q", lineNo+1, label)
+			}
+			p.Labels[label] = len(p.Instrs)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		if len(fields) == 0 {
+			continue
+		}
+		mn := strings.ToLower(fields[0])
+		args := fields[1:]
+		ins, needLabel, err := parseInstr(mn, args)
+		if err != nil {
+			return nil, fmt.Errorf("svm: line %d: %v", lineNo+1, err)
+		}
+		if needLabel != "" {
+			fixups = append(fixups, pending{instr: len(p.Instrs), label: needLabel})
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("svm: empty program")
+	}
+	// A label with no instruction after it would branch past the end.
+	for label, idx := range p.Labels {
+		if idx >= len(p.Instrs) {
+			return nil, fmt.Errorf("svm: label %q has no instruction", label)
+		}
+	}
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("svm: undefined label %q", f.label)
+		}
+		p.Instrs[f.instr].Imm = int32(target)
+	}
+	return p, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !(r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v > 1<<31-1 || v < -(1<<31) {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "imm(rN)".
+func parseMem(s string) (uint8, int32, error) {
+	open := strings.IndexByte(s, '(')
+	closing := strings.IndexByte(s, ')')
+	if open < 0 || closing < open {
+		return 0, 0, fmt.Errorf("expected imm(reg), got %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	imm, err := parseImm(immStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err := parseReg(s[open+1 : closing])
+	if err != nil {
+		return 0, 0, err
+	}
+	return reg, imm, nil
+}
+
+func parseInstr(mn string, args []string) (Instr, string, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	var ins Instr
+	switch mn {
+	case "add", "sub", "mul", "and", "or", "xor", "slt", "sltu":
+		ops := map[string]Op{"add": OpAdd, "sub": OpSub, "mul": OpMul, "and": OpAnd,
+			"or": OpOr, "xor": OpXor, "slt": OpSlt, "sltu": OpSltu}
+		ins.Op = ops[mn]
+		if err := need(3); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Rs, err = parseReg(args[1]); err != nil {
+			return ins, "", err
+		}
+		if ins.Rt, err = parseReg(args[2]); err != nil {
+			return ins, "", err
+		}
+	case "addi", "andi", "ori", "slli", "srli":
+		ops := map[string]Op{"addi": OpAddi, "andi": OpAndi, "ori": OpOri,
+			"slli": OpSlli, "srli": OpSrli}
+		ins.Op = ops[mn]
+		if err := need(3); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Rs, err = parseReg(args[1]); err != nil {
+			return ins, "", err
+		}
+		if ins.Imm, err = parseImm(args[2]); err != nil {
+			return ins, "", err
+		}
+	case "lui":
+		ins.Op = OpLui
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Imm, err = parseImm(args[1]); err != nil {
+			return ins, "", err
+		}
+	case "li":
+		// Pseudo-instruction: li rd, imm  ->  addi rd, r0, imm.
+		ins.Op = OpAddi
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Imm, err = parseImm(args[1]); err != nil {
+			return ins, "", err
+		}
+	case "mv":
+		// Pseudo-instruction: mv rd, rs  ->  addi rd, rs, 0.
+		ins.Op = OpAddi
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Rs, err = parseReg(args[1]); err != nil {
+			return ins, "", err
+		}
+	case "lw", "lb":
+		if mn == "lw" {
+			ins.Op = OpLw
+		} else {
+			ins.Op = OpLb
+		}
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rd, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Rs, ins.Imm, err = parseMem(args[1]); err != nil {
+			return ins, "", err
+		}
+	case "sw", "sb":
+		if mn == "sw" {
+			ins.Op = OpSw
+		} else {
+			ins.Op = OpSb
+		}
+		if err := need(2); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rt, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Rs, ins.Imm, err = parseMem(args[1]); err != nil {
+			return ins, "", err
+		}
+	case "beq", "bne", "blt", "bge":
+		ops := map[string]Op{"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge}
+		ins.Op = ops[mn]
+		if err := need(3); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rs, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+		if ins.Rt, err = parseReg(args[1]); err != nil {
+			return ins, "", err
+		}
+		return ins, args[2], nil
+	case "j", "jal":
+		if mn == "j" {
+			ins.Op = OpJ
+		} else {
+			ins.Op = OpJal
+		}
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		return ins, args[0], nil
+	case "jr":
+		ins.Op = OpJr
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rs, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+	case "emit":
+		ins.Op = OpEmit
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rs, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+	case "dealloc":
+		ins.Op = OpDealloc
+		if err := need(1); err != nil {
+			return ins, "", err
+		}
+		var err error
+		if ins.Rs, err = parseReg(args[0]); err != nil {
+			return ins, "", err
+		}
+	case "stop":
+		ins.Op = OpStop
+		if err := need(0); err != nil {
+			return ins, "", err
+		}
+	default:
+		return ins, "", fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return ins, "", nil
+}

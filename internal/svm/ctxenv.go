@@ -1,0 +1,74 @@
+package svm
+
+import (
+	"activesan/internal/aswitch"
+)
+
+// CtxEnv adapts a switch handler context into a VM Env: cycles charge the
+// owning switch CPU, instruction fetches go through its I-cache, stream
+// loads resolve through the ATB with valid-bit stalls, and private memory
+// goes through the 1 KB D-cache. Emitted words accumulate in Out for the
+// handler to send.
+type CtxEnv struct {
+	X *aswitch.Ctx
+	// Base is the lowest stream-mapped address.
+	Base int64
+	// MemBase anchors private data memory in the switch's address space so
+	// D-cache behaviour is realistic.
+	MemBase int64
+	// Out collects EMIT results.
+	Out []uint32
+}
+
+// NewCtxEnv builds the adapter.
+func NewCtxEnv(x *aswitch.Ctx, streamBase, memBase int64) *CtxEnv {
+	return &CtxEnv{X: x, Base: streamBase, MemBase: memBase}
+}
+
+// Compute implements Env.
+func (e *CtxEnv) Compute(n int64) { e.X.Compute(n) }
+
+// Ifetch implements Env.
+func (e *CtxEnv) Ifetch(addr int64) { e.X.Ifetch(addr) }
+
+// StreamBase implements Env.
+func (e *CtxEnv) StreamBase() int64 { return e.Base }
+
+// StreamBytes implements Env: wait for the buffer covering addr, stall on
+// its valid bits, and return the payload bytes (shorter reads at packet
+// boundaries return what the buffer holds).
+func (e *CtxEnv) StreamBytes(addr, n int64) []byte {
+	b := e.X.WaitStream(addr)
+	off := addr - b.Addr()
+	take := n
+	if off+take > b.Size() {
+		take = b.Size() - off
+	}
+	payload := e.X.ReadAt(b, off, take)
+	if data, ok := payload.([]byte); ok && off+take <= int64(len(data)) {
+		return data[off : off+take]
+	}
+	return make([]byte, take)
+}
+
+// MemLoad implements Env.
+func (e *CtxEnv) MemLoad(addr int64) { e.X.MemLoad(e.MemBase + addr) }
+
+// MemStore implements Env.
+func (e *CtxEnv) MemStore(addr int64) { e.X.MemStore(e.MemBase + addr) }
+
+// Dealloc implements Env.
+func (e *CtxEnv) Dealloc(end int64) { e.X.Deallocate(end) }
+
+// Emit implements Env.
+func (e *CtxEnv) Emit(v uint32) { e.Out = append(e.Out, v) }
+
+// RunOnCtx assembles nothing — it executes an already-assembled program as
+// the body of a switch handler, returning the machine result and the
+// emitted words.
+func RunOnCtx(x *aswitch.Ctx, prog *Program, streamBase, memBase int64, init map[uint8]uint32) (*Result, []uint32, error) {
+	env := NewCtxEnv(x, streamBase, memBase)
+	m := NewMachine(env, prog, init)
+	res, err := m.Run()
+	return res, env.Out, err
+}

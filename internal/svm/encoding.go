@@ -1,0 +1,101 @@
+package svm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary instruction encoding: each instruction is one 32-bit word, the
+// format the switch's 4 KB instruction cache actually holds.
+//
+//	bits 31..26  opcode (6 bits)
+//	bits 25..21  rd
+//	bits 20..16  rs
+//	bits 15..11  rt
+//	bits 10..0   imm (signed 11-bit)
+//
+// The uniform layout keeps every register field addressable alongside the
+// immediate (branches use rs, rt and a target). The 11-bit immediate bounds
+// encoded programs to 2 Ki instructions — double what fits the 4 KB
+// I-cache — and wide constants build via LUI/shifts, as on the real ISA.
+const maxEncodedImm = 1<<10 - 1
+
+// EncodeInstr packs one instruction into a word; immediates outside the
+// signed 11-bit range are rejected.
+func EncodeInstr(ins Instr) (uint32, error) {
+	if ins.Imm > maxEncodedImm || ins.Imm < -(1<<10) {
+		return 0, fmt.Errorf("svm: immediate %d does not fit the 11-bit encoding", ins.Imm)
+	}
+	w := uint32(ins.Op) << 26
+	w |= uint32(ins.Rd&31) << 21
+	w |= uint32(ins.Rs&31) << 16
+	w |= uint32(ins.Rt&31) << 11
+	w |= uint32(ins.Imm) & 0x7FF
+	return w, nil
+}
+
+// DecodeInstr unpacks one word.
+func DecodeInstr(w uint32) (Instr, error) {
+	op := Op(w >> 26)
+	if op > OpStop {
+		return Instr{}, fmt.Errorf("svm: illegal opcode %d", uint32(op))
+	}
+	imm := int32(w & 0x7FF)
+	if imm >= 1<<10 {
+		imm -= 1 << 11
+	}
+	return Instr{
+		Op:  op,
+		Rd:  uint8(w >> 21 & 31),
+		Rs:  uint8(w >> 16 & 31),
+		Rt:  uint8(w >> 11 & 31),
+		Imm: imm,
+	}, nil
+}
+
+// EncodeProgram serializes a program image: a 4-byte magic, a 4-byte count,
+// then one word per instruction, little-endian — what a host would download
+// into the switch's jump-table-addressed instruction memory.
+func EncodeProgram(p *Program) ([]byte, error) {
+	out := make([]byte, 0, 8+4*len(p.Instrs))
+	out = append(out, 'S', 'V', 'M', '1')
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(p.Instrs)))
+	out = append(out, cnt[:]...)
+	for i, ins := range p.Instrs {
+		w, err := EncodeInstr(ins)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], w)
+		out = append(out, b[:]...)
+	}
+	return out, nil
+}
+
+// DecodeProgram parses a program image (labels are not preserved — they
+// exist only in source).
+func DecodeProgram(data []byte) (*Program, error) {
+	if len(data) < 8 || string(data[:4]) != "SVM1" {
+		return nil, fmt.Errorf("svm: bad program image magic")
+	}
+	n := binary.LittleEndian.Uint32(data[4:8])
+	if int(n)*4+8 != len(data) {
+		return nil, fmt.Errorf("svm: image declares %d instructions but holds %d bytes of text",
+			n, len(data)-8)
+	}
+	p := &Program{Labels: map[string]int{}}
+	for i := 0; i < int(n); i++ {
+		w := binary.LittleEndian.Uint32(data[8+i*4:])
+		ins, err := DecodeInstr(w)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("svm: empty program image")
+	}
+	return p, nil
+}

@@ -1,0 +1,27 @@
+package svm_test
+
+import (
+	"fmt"
+
+	"activesan/internal/svm"
+)
+
+// Example assembles and executes a handler program against an in-memory
+// stream with the stand-alone SliceEnv — the cmd/swasm dry-run flow.
+func Example() {
+	prog, err := svm.Assemble(svm.MinMaxSource)
+	if err != nil {
+		panic(err)
+	}
+	data := []byte{9, 4, 200, 7}
+	env := svm.NewSliceEnv(1<<20, data)
+	m := svm.NewMachine(env, prog, map[uint8]uint32{
+		1: 1 << 20,
+		2: 1<<20 + uint32(len(data)),
+	})
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("min=%d max=%d\n", env.Out[0], env.Out[1])
+	// Output: min=4 max=200
+}

@@ -1,0 +1,72 @@
+package svm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must never panic,
+// and anything it accepts must disassemble and re-assemble to the same
+// instruction count.
+func FuzzAssemble(f *testing.F) {
+	f.Add("li r1, 3\nstop")
+	f.Add("loop: j loop")
+	f.Add("lw r1, 4(r2)\nsw r1, 8(r3)\nstop")
+	f.Add("beq r1, r2, done\ndone: stop")
+	f.Add("; only a comment")
+	f.Add("a: b: c: stop")
+	f.Add("addi r1, r0, 0x7fffffff\nstop")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if len(p.Instrs) == 0 {
+			t.Fatal("accepted an empty program")
+		}
+		// Branch/jump targets must land inside the program or one past it
+		// is invalid too: execution bounds-checks, but assembly must have
+		// resolved every label to a real instruction index.
+		for i, ins := range p.Instrs {
+			switch ins.Op {
+			case OpBeq, OpBne, OpBlt, OpBge, OpJ, OpJal:
+				if ins.Imm < 0 || int(ins.Imm) >= len(p.Instrs) {
+					t.Fatalf("instr %d: target %d outside program of %d", i, ins.Imm, len(p.Instrs))
+				}
+			}
+		}
+		if !strings.Contains(p.String(), p.Instrs[0].Op.String()) {
+			t.Fatal("disassembly lost the first opcode")
+		}
+	})
+}
+
+// FuzzExecute runs accepted programs under a tight instruction budget: the
+// machine must terminate with a result or an error, never panic on
+// arbitrary (stream-free) programs.
+func FuzzExecute(f *testing.F) {
+	f.Add("li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\nstop")
+	f.Add("sw r1, 0(r0)\nlw r2, 0(r0)\nstop")
+	f.Add("jal fn\nstop\nfn: jr r31")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		// Reject programs that touch the stream (they would panic on
+		// stores by design); private memory only.
+		env := &fakeEnv{base: 1 << 30, stream: nil}
+		m := NewMachine(env, p, nil)
+		m.MaxInstrs = 10000
+		defer func() {
+			if r := recover(); r != nil {
+				// Stores to stream addresses panic by contract; anything
+				// else is a bug.
+				if s, ok := r.(string); !ok || !strings.Contains(s, "stream") {
+					t.Fatalf("unexpected panic: %v", r)
+				}
+			}
+		}()
+		_, _ = m.Run()
+	})
+}

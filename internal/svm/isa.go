@@ -1,0 +1,108 @@
+// Package svm is the embedded switch processor's instruction set: a
+// single-issue MIPS-like ISA with the paper's extensions "to support
+// checking the status of hardware components inside the switch, sending
+// data buffers to other nodes, and requesting or releasing data buffers".
+//
+// The rest of the repository drives handlers through calibrated cost
+// models; svm closes the loop on the "execution-driven" substitution by
+// letting a handler be written in assembly, assembled, and executed
+// instruction-by-instruction on the switch CPU timing model — every
+// instruction costs a cycle, instruction fetches go through the 4 KB
+// I-cache, loads and stores go through the ATB (streams) or the 1 KB
+// D-cache (private memory), exactly as the paper describes the hardware.
+package svm
+
+import "fmt"
+
+// Op enumerates the ISA.
+type Op uint8
+
+// Instruction opcodes. Register-register arithmetic, immediates, loads and
+// stores, branches, jumps, and the switch extensions (EMIT, DEALLOC, STOP).
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpSlt  // rd = rs < rt (signed)
+	OpSltu // rd = rs < rt (unsigned)
+	OpAddi
+	OpAndi
+	OpOri
+	OpSlli
+	OpSrli
+	OpLui // rd = imm << 16
+	OpLw  // rd = mem32[rs+imm]
+	OpLb  // rd = mem8[rs+imm] (zero-extended)
+	OpSw  // mem32[rs+imm] = rt
+	OpSb  // mem8[rs+imm] = low byte of rt
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpJ
+	OpJal // link into r31
+	OpJr
+	// Switch extensions.
+	OpEmit    // append rs to the handler's output vector (send unit)
+	OpDealloc // Deallocate_Buffer(rs): release mapped buffers below rs
+	OpStop    // handler complete
+)
+
+var opNames = map[Op]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpSlli: "slli",
+	OpSrli: "srli", OpLui: "lui",
+	OpLw: "lw", OpLb: "lb", OpSw: "sw", OpSb: "sb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJ: "j", OpJal: "jal", OpJr: "jr",
+	OpEmit: "emit", OpDealloc: "dealloc", OpStop: "stop",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction. Branch and jump targets are absolute
+// instruction indices after assembly.
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt uint8
+	Imm        int32
+}
+
+// NumRegs is the register file size; register 0 is hard-wired to zero and
+// register 31 is the link register.
+const NumRegs = 32
+
+// Program is an assembled handler.
+type Program struct {
+	Instrs []Instr
+	Labels map[string]int
+	// Base is the program's notional instruction-memory address, used for
+	// I-cache fetch modelling (4-byte instructions).
+	Base int64
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	out := ""
+	rev := make(map[int]string, len(p.Labels))
+	for l, i := range p.Labels {
+		rev[i] = l
+	}
+	for i, ins := range p.Instrs {
+		if l, ok := rev[i]; ok {
+			out += l + ":\n"
+		}
+		out += fmt.Sprintf("  %2d: %-7s rd=%d rs=%d rt=%d imm=%d\n",
+			i, ins.Op, ins.Rd, ins.Rs, ins.Rt, ins.Imm)
+	}
+	return out
+}
