@@ -161,6 +161,15 @@ func RunExperiment(id string, scale int64) (*Result, error) {
 	return e.Run(scale), nil
 }
 
+// RunExperiments executes the whole registry at one scale over a pool of
+// `workers` goroutines (each experiment simulates on its own Engine, so
+// runs are independent). Results are ordered by registry index regardless
+// of completion order; workers < 1 selects runtime.NumCPU() and workers ==
+// 1 reproduces the sequential harness exactly.
+func RunExperiments(scale int64, workers int) []*Result {
+	return exp.RunAll(scale, workers)
+}
+
 // Shapes summarizes a result's headline numbers against the paper's.
 func Shapes(res *Result) []string { return exp.Shapes(res) }
 

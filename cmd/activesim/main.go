@@ -7,7 +7,12 @@
 //	activesim -list
 //	activesim -run fig3              # one experiment at default scale
 //	activesim -run all -scale 8      # everything, problem sizes / 8
+//	activesim -run all -parallel 8   # fan the registry over 8 workers
 //	activesim -run fig15 -scale 1    # full 128-node reduction sweep
+//
+// With -run all the registry fans out over -parallel worker goroutines
+// (default: the CPU count); results always print in registry order, so the
+// output is byte-identical to a sequential (-parallel 1) run.
 //
 // Scale divides the paper's problem sizes; 1 reproduces them exactly (the
 // database and sort workloads then simulate hundreds of megabytes and take
@@ -20,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 
 	"activesan"
 )
@@ -28,6 +35,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "experiment id to run, or \"all\"")
 	scale := flag.Int64("scale", 8, "problem-size divisor (1 = paper's full sizes)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for -run all (1 = sequential)")
 	chart := flag.Bool("chart", false, "render ASCII bar charts after each result")
 	svgDir := flag.String("svg", "", "write an SVG figure per experiment into this directory")
 	jsonPath := flag.String("json", "", "write all results as JSON to this file")
@@ -47,8 +55,13 @@ func main() {
 			w.Flush()
 			f.Close()
 		}()
+		// With -parallel, engines on several goroutines share this sink:
+		// the mutex keeps the trace file and line budget coherent.
+		var mu sync.Mutex
 		lines := 0
 		activesan.SetTracer(func(t activesan.Time, msg string) {
+			mu.Lock()
+			defer mu.Unlock()
 			if lines >= *traceLimit {
 				return
 			}
@@ -68,21 +81,21 @@ func main() {
 		return
 	}
 
-	ids := []string{*run}
-	if *run == "all" {
-		ids = ids[:0]
-		for _, e := range activesan.Experiments() {
-			ids = append(ids, e.ID)
-		}
-	}
 	var collected []*activesan.Result
-	for _, id := range ids {
-		res, err := activesan.RunExperiment(id, *scale)
+	if *run == "all" {
+		// The parallel harness keeps results in registry order, so the
+		// printed report is byte-identical at any worker count.
+		collected = activesan.RunExperiments(*scale, *parallel)
+	} else {
+		res, err := activesan.RunExperiment(*run, *scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		collected = append(collected, res)
+	}
+	for _, res := range collected {
+		id := res.ID
 		fmt.Print(res.Format())
 		for _, s := range activesan.Shapes(res) {
 			fmt.Printf("shape: %s\n", s)

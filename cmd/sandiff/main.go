@@ -6,11 +6,18 @@
 //	... edit constants ...
 //	activesim -run all -json after.json
 //	sandiff before.json after.json
+//	sandiff -threshold 5 before.json after.json   # exit 1 on >5% drift
+//
+// With -threshold, any per-config time or traffic delta (or series-max
+// delta) whose magnitude exceeds the given percentage is printed as a
+// REGRESSION line and the exit status is 1 — the CI-friendly mode.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"activesan/internal/report"
@@ -34,20 +41,46 @@ func load(path string) ([]*stats.Result, error) {
 	return f.Results, nil
 }
 
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sandiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0,
+		"fail (exit 1) when any |Δtime|, |Δtraffic| or |Δseries-max| exceeds this percentage; 0 disables")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: sandiff [-threshold pct] before.json after.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	before, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	after, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprint(stdout, report.Compare(before, after))
+	if *threshold > 0 {
+		regs := report.Regressions(before, after, *threshold)
+		for _, r := range regs {
+			fmt.Fprintf(stdout, "REGRESSION: %s exceeds %.2f%%\n", r, *threshold)
+		}
+		if len(regs) > 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: sandiff before.json after.json")
-		os.Exit(2)
-	}
-	before, err := load(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	after, err := load(os.Args[2])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Print(report.Compare(before, after))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The before/after fixtures differ by one injected regression: fig9's
+// active time is 25% higher in after.json (the series drifts only 0.5%).
+
+func fixture(name string) string { return filepath.Join("testdata", name) }
+
+func TestDiffReportsDeltas(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{fixture("before.json"), fixture("after.json")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d without -threshold, want 0 (stderr: %s)", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"fig9", "active", "25.00%", "speedup"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "REGRESSION") {
+		t.Errorf("REGRESSION lines printed without -threshold:\n%s", got)
+	}
+}
+
+func TestThresholdBreachExitsNonzero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-threshold", "10", fixture("before.json"), fixture("after.json")}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 on a 25%% drift over a 10%% threshold", code)
+	}
+	got := out.String()
+	if !strings.Contains(got, "REGRESSION: fig9 active time") {
+		t.Errorf("regression line missing:\n%s", got)
+	}
+	// The 0.5% series drift stays under the threshold.
+	if strings.Contains(got, "REGRESSION: fig15") {
+		t.Errorf("sub-threshold series drift flagged:\n%s", got)
+	}
+}
+
+func TestThresholdAboveDriftPasses(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-threshold", "30", fixture("before.json"), fixture("after.json")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 when the threshold exceeds every drift:\n%s", code, out.String())
+	}
+}
+
+func TestIdenticalFilesPass(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-threshold", "0.01", fixture("before.json"), fixture("before.json")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d comparing a file against itself, want 0:\n%s", code, out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"only-one.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d with one arg, want 2", code)
+	}
+	if code := run([]string{fixture("before.json"), fixture("no-such.json")}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d with a missing file, want 1", code)
+	}
+}

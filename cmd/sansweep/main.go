@@ -8,14 +8,20 @@
 //	sansweep -sweep reduce -kind dist -nodes 2,4,8,16,32,64,128
 //	sansweep -sweep md5 -cpus 1,2,3,4
 //	sansweep -sweep sort -hosts 2,4,8 -records 262144
+//
+// Sweep points are independent simulations, so they fan out over -parallel
+// worker goroutines (default: the CPU count); output order is always the
+// sequential order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"activesan/internal/ablation"
 	"activesan/internal/apps"
@@ -42,6 +48,44 @@ func parseInts(s string) []int {
 	return out
 }
 
+// sweepLines evaluates one line of output per point over a worker pool and
+// prints the lines in point order, so any -parallel value produces the
+// same output as a sequential sweep.
+func sweepLines(points []int, workers int, eval func(p int) string) {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	lines := make([]string, len(points))
+	if workers <= 1 {
+		for i, p := range points {
+			lines[i] = eval(p)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					lines[i] = eval(points[i])
+				}
+			}()
+		}
+		for i := range points {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, l := range lines {
+		fmt.Print(l)
+	}
+}
+
 func main() {
 	sweep := flag.String("sweep", "reduce", "what to sweep: reduce | md5 | sort | ablation | twolevel")
 	kind := flag.String("kind", "one", "reduction kind: one | dist | all")
@@ -50,6 +94,7 @@ func main() {
 	hosts := flag.String("hosts", "2,4,8", "host counts for -sweep sort")
 	records := flag.Int64("records", 1<<18, "total records for -sweep sort")
 	rounds := flag.Int("rounds", 0, "with -sweep reduce: pipeline this many back-to-back rounds")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
 	flag.Parse()
 
 	switch *sweep {
@@ -69,38 +114,38 @@ func main() {
 			k = reduce.ToAll
 		}
 		if *rounds > 0 {
-			for _, p := range parseInts(*nodes) {
+			sweepLines(parseInts(*nodes), *parallel, func(p int) string {
 				iso := reduce.Run(reduce.ToOne, true, p, reduce.DefaultParams()).Latency
 				r := reduce.RunPipelined(p, *rounds, reduce.DefaultParams())
-				fmt.Printf("p=%-4d rounds=%d total=%v per-round=%v isolated=%v correct=%v\n",
+				return fmt.Sprintf("p=%-4d rounds=%d total=%v per-round=%v isolated=%v correct=%v\n",
 					p, *rounds, r.Total, r.PerRound, iso, r.Correct)
-			}
+			})
 			return
 		}
-		res := reduce.Sweep(k, parseInts(*nodes), reduce.DefaultParams())
+		res := reduce.SweepParallel(k, parseInts(*nodes), reduce.DefaultParams(), *parallel)
 		fmt.Print(res.Format())
 
 	case "md5":
 		prm := md5app.DefaultParams()
 		normal := md5app.Run(apps.Normal, 1, prm)
 		fmt.Printf("%-20s %v\n", "normal", normal.Time)
-		for _, c := range parseInts(*cpus) {
+		sweepLines(parseInts(*cpus), *parallel, func(c int) string {
 			r := md5app.Run(apps.ActivePref, c, prm)
-			fmt.Printf("%-20s %v  speedup %.2f\n", r.Config, r.Time,
+			return fmt.Sprintf("%-20s %v  speedup %.2f\n", r.Config, r.Time,
 				float64(normal.Time)/float64(r.Time))
-		}
+		})
 
 	case "sort":
-		for _, hcount := range parseInts(*hosts) {
+		sweepLines(parseInts(*hosts), *parallel, func(hcount int) string {
 			prm := psort.DefaultParams()
 			prm.Hosts = hcount
 			prm.Records = *records
 			n := psort.Run(apps.NormalPref, prm)
 			a := psort.Run(apps.ActivePref, prm)
 			limit := float64(hcount) / float64(3*hcount-2)
-			fmt.Printf("p=%-3d normal=%v active=%v traffic-ratio=%.3f (limit %.3f)\n",
+			return fmt.Sprintf("p=%-3d normal=%v active=%v traffic-ratio=%.3f (limit %.3f)\n",
 				hcount, n.Time, a.Time, float64(a.Traffic)/float64(n.Traffic), limit)
-		}
+		})
 
 	default:
 		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"activesan/internal/apps"
 	"activesan/internal/aswitch"
@@ -211,17 +212,18 @@ func (f *filter) Feed(data []byte) {
 	}
 }
 
-// dbg prints debug traces when enabled.
-var debugTrace = false
+// dbg prints debug traces when enabled. Atomic so SetDebug is safe while
+// experiments run on other goroutines.
+var debugTrace atomic.Bool
 
 func dbg(format string, args ...any) {
-	if debugTrace {
+	if debugTrace.Load() {
 		fmt.Printf("[mpeg] "+format+"\n", args...)
 	}
 }
 
 // SetDebug toggles debug tracing (tests/diagnosis only).
-func SetDebug(v bool) { debugTrace = v }
+func SetDebug(v bool) { debugTrace.Store(v) }
 
 const handlerID = 11
 

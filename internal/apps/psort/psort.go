@@ -11,6 +11,7 @@ package psort
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"activesan/internal/apps"
 	"activesan/internal/aswitch"
@@ -122,11 +123,12 @@ func recordsIn(prm Params, j int, a, b int64) (lo, hi int64) {
 	return lo, hi
 }
 
-// debugSort enables handler progress traces.
-var debugSort = false
+// debugSort enables handler progress traces. Atomic so SetDebug is safe
+// while experiments run on other goroutines.
+var debugSort atomic.Bool
 
 // SetDebug toggles tracing.
-func SetDebug(v bool) { debugSort = v }
+func SetDebug(v bool) { debugSort.Store(v) }
 
 const handlerID = 15
 
@@ -192,11 +194,11 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 			}
 			var consumed int64
 			for consumed < total {
-				if debugSort {
+				if debugSort.Load() {
 					fmt.Printf("[psort] consumed=%d/%d at %v\n", consumed, total, x.Now())
 				}
 				b := x.NextArrival()
-				if debugSort {
+				if debugSort.Load() {
 					fmt.Printf("[psort] got buf addr=%#x size=%d\n", b.Addr(), b.Size())
 				}
 				x.ReadAll(b)
@@ -215,7 +217,7 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 					}
 					bytesOut[d] += prm.RecordSize
 					if bytesOut[d] >= args.BatchSize {
-						if debugSort {
+						if debugSort.Load() {
 							fmt.Printf("[psort] flush dest=%d count=%d\n", d, batches[d].Count)
 						}
 						flush(d)
@@ -263,7 +265,7 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 		end = p.Now()
 	})
 	eng.Run()
-	if debugSort {
+	if debugSort.Load() {
 		fmt.Printf("[psort] post-run: dbaInUse=%d atbLive=%d pending=%d\n",
 			sw.DBA().InUse(), sw.CPU(0).ATB().Live(), sw.CPU(0).PendingArrivals())
 	}

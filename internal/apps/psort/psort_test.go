@@ -60,6 +60,9 @@ func TestRecordsInCoversPartitionExactly(t *testing.T) {
 }
 
 func TestDistributionCorrectAllConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates all four configurations at 64K records")
+	}
 	prm := testParams()
 	wantCounts, wantSums := prm.Oracle()
 	for _, cfg := range apps.AllConfigs {
@@ -81,6 +84,9 @@ func TestShapeSort(t *testing.T) {
 	// Paper Figures 13/14: results mirror Grep — normal worst — and the
 	// headline is traffic: per-node data in the active cases is ~40% of
 	// normal at p=4 (limit p/(3p-2)).
+	if testing.Short() {
+		t.Skip("simulates the full four-configuration figure")
+	}
 	prm := testParams()
 	res := RunAll(prm)
 	normal := res.Baseline()
@@ -128,6 +134,9 @@ func TestLocalSortPhase(t *testing.T) {
 
 func TestOtherNodeCounts(t *testing.T) {
 	// Traffic follows p/(3p-2) at p=2 and p=8 as well.
+	if testing.Short() {
+		t.Skip("simulates two extra node counts")
+	}
 	for _, hosts := range []int{2, 8} {
 		prm := testParams()
 		prm.Hosts = hosts

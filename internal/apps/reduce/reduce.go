@@ -10,6 +10,8 @@ package reduce
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"activesan/internal/apps"
 	"activesan/internal/aswitch"
@@ -530,17 +532,56 @@ func runMSTHost(p *sim.Proc, c *cluster.Cluster, h *host.Host, j, nodes int, kin
 // Sweep runs normal and active reductions over the node counts and builds
 // the paper's latency-vs-nodes figure with a speedup series.
 func Sweep(kind Kind, nodeCounts []int, prm Params) *stats.Result {
+	return SweepParallel(kind, nodeCounts, prm, 1)
+}
+
+// SweepParallel is Sweep with the node counts fanned over a pool of
+// `workers` goroutines (each point simulates on its own engine). Series
+// points stay in nodeCounts order whatever the completion order, so the
+// result is identical to a sequential sweep. workers < 1 selects
+// runtime.NumCPU().
+func SweepParallel(kind Kind, nodeCounts []int, prm Params, workers int) *stats.Result {
 	id := "fig15"
 	if kind == Distributed {
 		id = "fig16"
 	}
 	res := &stats.Result{ID: id, Title: fmt.Sprintf("Collective %s: latency vs nodes", kind)}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(nodeCounts) {
+		workers = len(nodeCounts)
+	}
+	points := make([]struct{ normal, active Result }, len(nodeCounts))
+	if workers <= 1 {
+		for i, p := range nodeCounts {
+			points[i].normal = Run(kind, false, p, prm)
+			points[i].active = Run(kind, true, p, prm)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					points[i].normal = Run(kind, false, nodeCounts[i], prm)
+					points[i].active = Run(kind, true, nodeCounts[i], prm)
+				}
+			}()
+		}
+		for i := range nodeCounts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
 	var normal, active stats.Series
 	normal.Name = "normal (MST)"
 	active.Name = "active (switch tree)"
-	for _, p := range nodeCounts {
-		rn := Run(kind, false, p, prm)
-		ra := Run(kind, true, p, prm)
+	for i, p := range nodeCounts {
+		rn, ra := points[i].normal, points[i].active
 		if !rn.Correct || !ra.Correct {
 			res.Notes = append(res.Notes, fmt.Sprintf("p=%d: INCORRECT result (normal ok=%v, active ok=%v)", p, rn.Correct, ra.Correct))
 		}

@@ -72,6 +72,9 @@ func TestShapeReduceSpeedupGrows(t *testing.T) {
 	// Paper Figures 15/16: the active switch tree scales as log_{N/2}(p)
 	// vs the MST's log_2(p), so speedup grows with node count and is
 	// substantial at 128 nodes.
+	if testing.Short() {
+		t.Skip("sweeps up to 128 nodes")
+	}
 	prm := DefaultParams()
 	for _, kind := range []Kind{ToOne, Distributed} {
 		var prev float64
@@ -154,7 +157,11 @@ func TestNonPowerOfTwoNodeCounts(t *testing.T) {
 	// Binomial trees and switch trees must both handle ragged node counts
 	// (partial leaves, odd fan-in).
 	prm := DefaultParams()
-	for _, p := range []int{3, 5, 12, 24, 100} {
+	counts := []int{3, 5, 12, 24, 100}
+	if testing.Short() {
+		counts = []int{3, 12}
+	}
+	for _, p := range counts {
 		for _, active := range []bool{false, true} {
 			for _, kind := range []Kind{ToOne, Distributed} {
 				r := Run(kind, active, p, prm)

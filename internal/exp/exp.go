@@ -7,6 +7,8 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"activesan/internal/apps/grep"
 	"activesan/internal/apps/hashjoin"
@@ -259,12 +261,46 @@ func runTable2(int64) *stats.Result {
 	return res
 }
 
-// RunAllExperiments executes the whole registry at one scale.
+// RunAllExperiments executes the whole registry at one scale, sequentially.
 func RunAllExperiments(scale int64) []*stats.Result {
-	out := make([]*stats.Result, 0, len(Registry))
-	for _, e := range Registry {
-		out = append(out, e.Run(scale))
+	return RunAll(scale, 1)
+}
+
+// RunAll executes the whole registry at one scale, fanning experiments out
+// over a pool of workers. Each experiment builds its own sim.Engine, so
+// runs are independent; results come back ordered by registry index
+// regardless of completion order, making parallel output byte-identical to
+// a sequential run. workers < 1 selects runtime.NumCPU().
+func RunAll(scale int64, workers int) []*stats.Result {
+	if workers < 1 {
+		workers = runtime.NumCPU()
 	}
+	if workers > len(Registry) {
+		workers = len(Registry)
+	}
+	out := make([]*stats.Result, len(Registry))
+	if workers == 1 {
+		for i, e := range Registry {
+			out[i] = e.Run(scale)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = Registry[i].Run(scale)
+			}
+		}()
+	}
+	for i := range Registry {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 	return out
 }
 

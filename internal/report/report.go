@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"activesan/internal/exp"
+	"activesan/internal/sim"
 	"activesan/internal/stats"
 )
 
@@ -118,4 +119,67 @@ func pctDelta(before, after float64) float64 {
 		return 0
 	}
 	return 100 * (after - before) / before
+}
+
+// Regression is one metric whose drift crossed the failure threshold.
+type Regression struct {
+	Experiment string
+	Config     string // config label, or the series name for series drifts
+	Metric     string // "time", "traffic" or "series-max"
+	Before     float64
+	After      float64
+	DeltaPct   float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "time" {
+		return fmt.Sprintf("%s %s %s %v -> %v (%+.2f%%)",
+			r.Experiment, r.Config, r.Metric, sim.Time(r.Before), sim.Time(r.After), r.DeltaPct)
+	}
+	return fmt.Sprintf("%s %s %s %g -> %g (%+.2f%%)",
+		r.Experiment, r.Config, r.Metric, r.Before, r.After, r.DeltaPct)
+}
+
+// Regressions scans after-vs-before for per-config time and traffic deltas
+// and per-series max deltas whose magnitude exceeds thresholdPct. Any
+// drift counts, improvements included: in a calibrated simulator an
+// unexplained speedup is as suspect as a slowdown. Matching is by
+// experiment id and config label; entries present on only one side are
+// ignored (Compare already reports them).
+func Regressions(before, after []*stats.Result, thresholdPct float64) []Regression {
+	var out []Regression
+	byID := make(map[string]*stats.Result, len(before))
+	for _, r := range before {
+		byID[r.ID] = r
+	}
+	flag := func(id, config, metric string, b, a float64) {
+		if d := pctDelta(b, a); d > thresholdPct || d < -thresholdPct {
+			out = append(out, Regression{
+				Experiment: id, Config: config, Metric: metric,
+				Before: b, After: a, DeltaPct: d,
+			})
+		}
+	}
+	for _, ra := range after {
+		rb, ok := byID[ra.ID]
+		if !ok {
+			continue
+		}
+		for _, runA := range ra.Runs {
+			runB, ok := rb.Run(runA.Config)
+			if !ok {
+				continue
+			}
+			flag(ra.ID, runA.Config, "time", float64(runB.Time), float64(runA.Time))
+			flag(ra.ID, runA.Config, "traffic", float64(runB.Traffic), float64(runA.Traffic))
+		}
+		for _, sa := range ra.Series {
+			for _, sb := range rb.Series {
+				if sa.Name == sb.Name {
+					flag(ra.ID, sa.Name, "series-max", sb.MaxY(), sa.MaxY())
+				}
+			}
+		}
+	}
+	return out
 }

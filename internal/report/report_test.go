@@ -68,3 +68,65 @@ func TestCompare(t *testing.T) {
 		}
 	}
 }
+
+func TestRegressionsFlagDriftBeyondThreshold(t *testing.T) {
+	before := []*stats.Result{{
+		ID: "fig9",
+		Runs: []stats.Run{
+			{Config: "normal", Time: 100, Traffic: 1000},
+			{Config: "active", Time: 80, Traffic: 100},
+		},
+		Series: []stats.Series{{Name: "speedup", X: []float64{1}, Y: []float64{2}}},
+	}}
+	// Injected regressions: active time +25%, active traffic -40%
+	// (improvements count as drift too), series max +50%. Normal drifts by
+	// only 2% and stays under a 10% threshold.
+	after := []*stats.Result{{
+		ID: "fig9",
+		Runs: []stats.Run{
+			{Config: "normal", Time: 102, Traffic: 1000},
+			{Config: "active", Time: 100, Traffic: 60},
+		},
+		Series: []stats.Series{{Name: "speedup", X: []float64{1}, Y: []float64{3}}},
+	}}
+	regs := Regressions(before, after, 10)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+	want := map[string]float64{
+		"fig9/active/time":        25,
+		"fig9/active/traffic":     -40,
+		"fig9/speedup/series-max": 50,
+	}
+	for _, r := range regs {
+		key := r.Experiment + "/" + r.Config + "/" + r.Metric
+		wantDelta, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected regression %v", r)
+			continue
+		}
+		if r.DeltaPct < wantDelta-0.01 || r.DeltaPct > wantDelta+0.01 {
+			t.Errorf("%s: delta %.2f%%, want %.2f%%", key, r.DeltaPct, wantDelta)
+		}
+		if !strings.Contains(r.String(), r.Metric) {
+			t.Errorf("String() lacks metric: %q", r.String())
+		}
+	}
+	if regs := Regressions(before, after, 60); len(regs) != 0 {
+		t.Fatalf("threshold 60%% still flagged %v", regs)
+	}
+	if regs := Regressions(before, before, 0.01); len(regs) != 0 {
+		t.Fatalf("identical inputs flagged %v", regs)
+	}
+}
+
+func TestRegressionsIgnoreUnmatchedEntries(t *testing.T) {
+	before := []*stats.Result{{ID: "fig9", Runs: []stats.Run{{Config: "normal", Time: 100}}}}
+	after := []*stats.Result{
+		{ID: "fig9", Runs: []stats.Run{{Config: "brand-new", Time: 1}}},
+		{ID: "fig99", Runs: []stats.Run{{Config: "normal", Time: 1}}},
+	}
+	if regs := Regressions(before, after, 1); len(regs) != 0 {
+		t.Fatalf("unmatched entries flagged as regressions: %v", regs)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // event is a scheduled callback. Events with equal times fire in scheduling
@@ -33,9 +34,16 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// Engine is a discrete-event simulator.
+//
+// Concurrency contract: a single Engine is not safe for concurrent use —
 // all interaction must come from the engine's own callbacks or from the
-// single currently-running Proc.
+// single currently-running Proc. Distinct Engines share no mutable state
+// and may run on separate goroutines simultaneously (the parallel
+// experiment harness relies on this); the only package-level hook,
+// SetDefaultTracer, is atomic. A tracer function installed while engines
+// run in parallel is invoked from every engine's goroutine and must do its
+// own locking.
 type Engine struct {
 	now    Time
 	events eventHeap
@@ -60,18 +68,26 @@ type Engine struct {
 
 // defaultTracer, when set, is installed on every new engine — the hook the
 // CLI's -trace flag uses to observe experiments that build their own
-// engines internally.
-var defaultTracer func(t Time, msg string)
+// engines internally. Held behind an atomic pointer so engines can be
+// constructed concurrently with SetDefaultTracer.
+var defaultTracer atomic.Pointer[func(t Time, msg string)]
 
 // SetDefaultTracer installs (or clears, with nil) a tracer for all engines
-// created afterwards.
-func SetDefaultTracer(fn func(t Time, msg string)) { defaultTracer = fn }
+// created afterwards. Safe to call concurrently with NewEngine; the tracer
+// itself must be safe for concurrent use if engines run in parallel.
+func SetDefaultTracer(fn func(t Time, msg string)) {
+	if fn == nil {
+		defaultTracer.Store(nil)
+		return
+	}
+	defaultTracer.Store(&fn)
+}
 
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
 	e := &Engine{}
-	if defaultTracer != nil {
-		e.SetTracer(defaultTracer)
+	if fn := defaultTracer.Load(); fn != nil {
+		e.SetTracer(*fn)
 	}
 	return e
 }

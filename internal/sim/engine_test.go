@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -548,5 +550,48 @@ func TestEventsCounter(t *testing.T) {
 	e.Run()
 	if e.Events() != 5 {
 		t.Fatalf("events = %d, want 5", e.Events())
+	}
+}
+
+func TestDefaultTracerConcurrentWithNewEngine(t *testing.T) {
+	// SetDefaultTracer may race with engine construction on other
+	// goroutines (the parallel experiment harness does exactly this when
+	// -trace and -parallel are combined); under -race this test proves the
+	// hook is atomic.
+	defer SetDefaultTracer(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				e := NewEngine()
+				e.After(Nanosecond, func() {})
+				e.Tracef("tick %d", j)
+				e.Run()
+			}
+		}()
+	}
+	var sink atomic.Int64
+	for j := 0; j < 100; j++ {
+		SetDefaultTracer(func(Time, string) { sink.Add(1) })
+		SetDefaultTracer(nil)
+	}
+	wg.Wait()
+}
+
+func TestSetDefaultTracerAppliesToNewEngines(t *testing.T) {
+	defer SetDefaultTracer(nil)
+	var lines []string
+	SetDefaultTracer(func(at Time, msg string) { lines = append(lines, msg) })
+	e := NewEngine()
+	e.After(Nanosecond, func() { e.Tracef("fired") })
+	e.Run()
+	SetDefaultTracer(nil)
+	quiet := NewEngine()
+	quiet.After(Nanosecond, func() { quiet.Tracef("silent") })
+	quiet.Run()
+	if len(lines) != 1 || lines[0] != "fired" {
+		t.Fatalf("trace lines = %q, want [fired]", lines)
 	}
 }
