@@ -21,6 +21,7 @@ package activesan
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"activesan/internal/apps"
 	"activesan/internal/aswitch"
@@ -28,6 +29,7 @@ import (
 	"activesan/internal/exp"
 	"activesan/internal/host"
 	"activesan/internal/iodev"
+	"activesan/internal/metrics"
 	"activesan/internal/plot"
 	"activesan/internal/report"
 	"activesan/internal/san"
@@ -219,8 +221,73 @@ func RenderASCII(res *Result) string { return plot.ASCII(res) }
 // RenderSVG draws a result as a standalone SVG figure.
 func RenderSVG(res *Result) []byte { return plot.SVG(res) }
 
-// SetTracer installs a trace sink applied to every simulation created
-// afterwards (nil disables). Trace lines cover packet routing at every
-// switch, handler dispatch and invocation, and disk reads — the activesim
-// CLI's -trace flag writes them to a file.
+// SetTracer installs a legacy string trace sink applied to every simulation
+// created afterwards (nil disables). Trace lines cover packet send/receive
+// at every link, switch and NIC, handler dispatch/invoke/retire, main-memory
+// cache misses and disk operations — the activesim CLI's -trace flag writes
+// them to a file.
 func SetTracer(fn func(t Time, msg string)) { sim.SetDefaultTracer(fn) }
+
+// Typed tracing and metrics.
+type (
+	// TraceEvent is one typed simulation trace record (category, name,
+	// component, detail, timestamp).
+	TraceEvent = sim.TraceEvent
+	// TraceSink consumes typed trace events.
+	TraceSink = sim.TraceSink
+	// MetricsSnapshot is the per-run secondary-metric tree: every
+	// component counter under a "/"-separated name, plus derived gauges
+	// and sampled timelines. Each Run carries one in its Metrics field.
+	MetricsSnapshot = metrics.Snapshot
+	// ChromeTraceWriter streams typed trace events as a Perfetto /
+	// chrome://tracing loadable JSON file.
+	ChromeTraceWriter = metrics.ChromeTraceWriter
+)
+
+// SetTraceSink installs a typed trace sink applied to every simulation
+// created afterwards (nil disables). Sinks installed while experiments run
+// in parallel are called from multiple goroutines and must lock —
+// NewChromeTraceWriter's sink already does.
+func SetTraceSink(sink TraceSink) { sim.SetDefaultTraceSink(sink) }
+
+// NewChromeTraceWriter starts a Chrome trace-event JSON stream on w,
+// capped at limit events (0 = unlimited). Install its Sink with
+// SetTraceSink and Close it after the last simulation finishes; the
+// resulting file opens directly in https://ui.perfetto.dev.
+func NewChromeTraceWriter(w io.Writer, limit int64) *ChromeTraceWriter {
+	return metrics.NewChromeTraceWriter(w, limit)
+}
+
+// MetricsDiff compares two snapshots, returning every shared metric whose
+// relative change exceeds thresholdPct (largest drift first).
+func MetricsDiff(before, after *MetricsSnapshot, thresholdPct float64) []metrics.Drift {
+	return metrics.Diff(before, after, thresholdPct)
+}
+
+// MetricsJSON extracts every run's metrics snapshot into one JSON document
+// keyed by experiment id and configuration — the activesim/sansweep
+// -metrics-out payload.
+func MetricsJSON(results []*Result) ([]byte, error) {
+	experiments := make(map[string]map[string]*metrics.Snapshot)
+	for _, res := range results {
+		for _, r := range res.Runs {
+			if r.Metrics == nil {
+				continue
+			}
+			m := experiments[res.ID]
+			if m == nil {
+				m = make(map[string]*metrics.Snapshot)
+				experiments[res.ID] = m
+			}
+			m[r.Config] = r.Metrics
+		}
+	}
+	wrapper := struct {
+		Paper       string                                  `json:"paper"`
+		Experiments map[string]map[string]*metrics.Snapshot `json:"experiments"`
+	}{
+		Paper:       "Active I/O Switches in System Area Networks (HPCA 2003)",
+		Experiments: experiments,
+	}
+	return json.MarshalIndent(wrapper, "", "  ")
+}

@@ -9,10 +9,16 @@
 //	activesim -run all -scale 8      # everything, problem sizes / 8
 //	activesim -run all -parallel 8   # fan the registry over 8 workers
 //	activesim -run fig15 -scale 1    # full 128-node reduction sweep
+//	activesim -run fig3 -metrics-out m.json -trace-out t.json
 //
 // With -run all the registry fans out over -parallel worker goroutines
 // (default: the CPU count); results always print in registry order, so the
 // output is byte-identical to a sequential (-parallel 1) run.
+//
+// -metrics-out dumps every run's secondary-metric snapshot (the full
+// per-component counter tree plus derived gauges and timelines) as JSON;
+// -trace-out streams typed trace events as a Chrome trace-event file that
+// opens directly in https://ui.perfetto.dev.
 //
 // Scale divides the paper's problem sizes; 1 reproduces them exactly (the
 // database and sort workloads then simulate hundreds of megabytes and take
@@ -40,9 +46,39 @@ func main() {
 	svgDir := flag.String("svg", "", "write an SVG figure per experiment into this directory")
 	jsonPath := flag.String("json", "", "write all results as JSON to this file")
 	mdPath := flag.String("md", "", "write a markdown report of all results to this file")
-	trace := flag.String("trace", "", "write a simulation event trace to this file")
-	traceLimit := flag.Int("tracelimit", 200000, "maximum trace lines")
+	trace := flag.String("trace", "", "write a simulation event trace to this file (plain text)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file")
+	traceLimit := flag.Int("tracelimit", 200000, "maximum trace lines/events")
+	metricsOut := flag.String("metrics-out", "", "write every run's secondary-metric snapshot as JSON to this file")
 	flag.Parse()
+
+	if *trace != "" && *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "activesim: -trace and -trace-out share the trace hook; pick one")
+		os.Exit(2)
+	}
+	if *traceOut != "" {
+		if dir := filepath.Dir(*traceOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// The writer locks internally, so -parallel engines share it.
+		w := activesan.NewChromeTraceWriter(f, int64(*traceLimit))
+		activesan.SetTraceSink(w.Sink())
+		defer func() {
+			if err := w.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Printf("wrote %s (%d events)\n", *traceOut, w.Events())
+			}
+		}()
+	}
 
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -149,5 +185,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *metricsOut != "" {
+		data, err := activesan.MetricsJSON(collected)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if dir := filepath.Dir(*metricsOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 }

@@ -12,12 +12,18 @@
 // Sweep points are independent simulations, so they fan out over -parallel
 // worker goroutines (default: the CPU count); output order is always the
 // sequential order.
+//
+// -metrics-out collects each sweep point's secondary-metric snapshot into
+// one JSON file keyed by point label; -trace-out streams typed trace events
+// as a Chrome trace-event / Perfetto JSON file (see cmd/activesim).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -29,7 +35,53 @@ import (
 	"activesan/internal/apps/psort"
 	"activesan/internal/apps/reduce"
 	"activesan/internal/apps/twolevel"
+	"activesan/internal/metrics"
+	"activesan/internal/sim"
+	"activesan/internal/stats"
 )
+
+// sweepMetrics accumulates per-point snapshots for -metrics-out; nil when
+// the flag is off. Sweep points run on parallel goroutines, hence the lock.
+var (
+	sweepMetricsMu sync.Mutex
+	sweepMetrics   map[string]*metrics.Snapshot
+)
+
+// record stashes a run's snapshot under a sweep-point label.
+func record(label string, r stats.Run) {
+	if sweepMetrics == nil || r.Metrics == nil {
+		return
+	}
+	sweepMetricsMu.Lock()
+	defer sweepMetricsMu.Unlock()
+	sweepMetrics[label] = r.Metrics
+}
+
+func writeSweepMetrics(path string) {
+	wrapper := struct {
+		Paper  string                       `json:"paper"`
+		Sweeps map[string]*metrics.Snapshot `json:"sweeps"`
+	}{
+		Paper:  "Active I/O Switches in System Area Networks (HPCA 2003)",
+		Sweeps: sweepMetrics,
+	}
+	data, err := json.MarshalIndent(wrapper, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
 
 func parseInts(s string) []int {
 	var out []int
@@ -95,7 +147,41 @@ func main() {
 	records := flag.Int64("records", 1<<18, "total records for -sweep sort")
 	rounds := flag.Int("rounds", 0, "with -sweep reduce: pipeline this many back-to-back rounds")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file")
+	traceLimit := flag.Int("tracelimit", 200000, "maximum trace events for -trace-out")
+	metricsOut := flag.String("metrics-out", "", "write each sweep point's secondary-metric snapshot as JSON to this file")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if dir := filepath.Dir(*traceOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// The writer locks internally, so -parallel engines share it.
+		w := metrics.NewChromeTraceWriter(f, int64(*traceLimit))
+		sim.SetDefaultTraceSink(w.Sink())
+		defer func() {
+			if err := w.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Printf("wrote %s (%d events)\n", *traceOut, w.Events())
+			}
+		}()
+	}
+	if *metricsOut != "" {
+		sweepMetrics = make(map[string]*metrics.Snapshot)
+		// Deferred so the early-returning reduce pipeline path writes too
+		// (reduce sweeps build bare engines without stats.Run snapshots, so
+		// their file is legitimately empty).
+		defer writeSweepMetrics(*metricsOut)
+	}
 
 	switch *sweep {
 	case "ablation":
@@ -103,6 +189,9 @@ func main() {
 
 	case "twolevel":
 		res := twolevel.RunAll(twolevel.DefaultParams())
+		for _, r := range res.Runs {
+			record("twolevel/"+r.Config, r)
+		}
 		fmt.Print(res.Format())
 
 	case "reduce":
@@ -128,9 +217,11 @@ func main() {
 	case "md5":
 		prm := md5app.DefaultParams()
 		normal := md5app.Run(apps.Normal, 1, prm)
+		record("md5/normal", normal)
 		fmt.Printf("%-20s %v\n", "normal", normal.Time)
 		sweepLines(parseInts(*cpus), *parallel, func(c int) string {
 			r := md5app.Run(apps.ActivePref, c, prm)
+			record(fmt.Sprintf("md5/%s/cpus=%d", r.Config, c), r)
 			return fmt.Sprintf("%-20s %v  speedup %.2f\n", r.Config, r.Time,
 				float64(normal.Time)/float64(r.Time))
 		})
@@ -142,6 +233,8 @@ func main() {
 			prm.Records = *records
 			n := psort.Run(apps.NormalPref, prm)
 			a := psort.Run(apps.ActivePref, prm)
+			record(fmt.Sprintf("sort/%s/p=%d", n.Config, hcount), n)
+			record(fmt.Sprintf("sort/%s/p=%d", a.Config, hcount), a)
 			limit := float64(hcount) / float64(3*hcount-2)
 			return fmt.Sprintf("p=%-3d normal=%v active=%v traffic-ratio=%.3f (limit %.3f)\n",
 				hcount, n.Time, a.Time, float64(a.Traffic)/float64(n.Traffic), limit)

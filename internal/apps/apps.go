@@ -9,6 +9,7 @@ import (
 
 	"activesan/internal/cluster"
 	"activesan/internal/host"
+	"activesan/internal/metrics"
 	"activesan/internal/san"
 	"activesan/internal/sim"
 	"activesan/internal/stats"
@@ -91,13 +92,15 @@ func Mix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Collect assembles a stats.Run from a finished cluster.
+// Collect assembles a stats.Run from a finished cluster, including the
+// full secondary-metric snapshot of every component.
 func Collect(cfg Config, c *cluster.Cluster, end sim.Time, extra map[string]any) stats.Run {
 	run := stats.Run{
-		Config: cfg.String(),
-		Time:   end,
-		Hosts:  len(c.Hosts),
-		Extra:  extra,
+		Config:  cfg.String(),
+		Time:    end,
+		Hosts:   len(c.Hosts),
+		Extra:   extra,
+		Metrics: metrics.Collect(c, end),
 	}
 	for _, h := range c.Hosts {
 		b := h.CPU().Breakdown()
@@ -248,14 +251,19 @@ func RunIOScoped(ccfg cluster.IOClusterConfig, cfg Config,
 		setup(c)
 	}
 	c.Start()
+	tl := metrics.StartTimelines(c, metrics.DefaultTimelineInterval)
 	var end sim.Time
 	var extra map[string]any
 	eng.Spawn("app", func(p *sim.Proc) {
 		extra = app(p, c)
 		end = p.Now()
+		// Stop inside the app process, at the workload's end: a live
+		// sampler would keep the event queue non-empty forever.
+		tl.Stop()
 	})
 	eng.Run()
 	run := Collect(cfg, c, end, extra)
+	tl.Into(run.Metrics)
 	if hostIdx != nil {
 		run.HostBusy, run.HostStall, run.Traffic = 0, 0, 0
 		run.Hosts = len(hostIdx)

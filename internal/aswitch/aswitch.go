@@ -195,6 +195,24 @@ func (s *ActiveSwitch) HandlerStatsFor(id int) HandlerStats {
 	return s.perHandler[id]
 }
 
+// HandlerInfo names one registered jump-table entry.
+type HandlerInfo struct {
+	ID   int
+	Name string
+}
+
+// Handlers lists the registered jump-table entries in id order, so the
+// metrics registry can key per-handler counters by name.
+func (s *ActiveSwitch) Handlers() []HandlerInfo {
+	var out []HandlerInfo
+	for id, e := range s.jump {
+		if e != nil {
+			out = append(out, HandlerInfo{ID: id, Name: e.name})
+		}
+	}
+	return out
+}
+
 // Register installs fn in the jump table at handler id.
 func (s *ActiveSwitch) Register(id int, name string, fn HandlerFunc) {
 	if id < 0 || id > san.MaxHandlerID {
@@ -279,7 +297,10 @@ func (s *ActiveSwitch) Deliver(p *sim.Proc, pkt *san.Packet, fillRate float64) {
 		if inv.HandlerID >= 0 && inv.HandlerID <= san.MaxHandlerID {
 			s.perHandler[inv.HandlerID].Invocations++
 		}
-		s.eng.Tracef("%s: dispatch handler=%d cpu=%d src=%d", s.Name(), inv.HandlerID, cpuID, inv.Src)
+		if s.eng.Tracing() {
+			s.eng.Emit("handler", "dispatch", s.Name(),
+				fmt.Sprintf("dispatch handler=%d cpu=%d src=%d", inv.HandlerID, cpuID, inv.Src))
+		}
 		c.invq.Put(inv)
 	}
 	s.mapSig.Fire()
@@ -335,10 +356,19 @@ func (c *SwitchCPU) loop(p *sim.Proc) {
 			continue
 		}
 		c.runs++
-		c.sw.eng.Tracef("%s: cpu%d invoke %q", c.sw.Name(), c.id, entry.name)
+		eng := c.sw.eng
+		if eng.Tracing() {
+			eng.Emit("handler", "invoke", c.sw.Name(),
+				fmt.Sprintf("cpu%d invoke %q", c.id, entry.name))
+		}
+		start := p.Now()
 		c.cpu.Compute(p, invokeCycles)
 		entry.fn(&Ctx{p: p, sw: c.sw, c: c, inv: inv})
 		c.cpu.Flush(p)
+		if eng.Tracing() {
+			eng.Emit("handler", "retire", c.sw.Name(),
+				fmt.Sprintf("cpu%d retire %q after %v", c.id, entry.name, p.Now()-start))
+		}
 	}
 }
 

@@ -158,6 +158,9 @@ func (h *Hierarchy) L2() *Cache { return h.l2 }
 // DTLB returns the data TLB, or nil.
 func (h *Hierarchy) DTLB() *TLB { return h.dtlb }
 
+// ITLB returns the instruction TLB, or nil.
+func (h *Hierarchy) ITLB() *TLB { return h.itlb }
+
 // TLBWalks reports how many page-table walks have occurred.
 func (h *Hierarchy) TLBWalks() int64 { return h.tlbWalks }
 

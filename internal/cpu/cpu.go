@@ -163,6 +163,10 @@ func (c *CPU) Ifetch(p *sim.Proc, addr int64) cache.Result {
 func (c *CPU) ref(p *sim.Proc, addr int64, k cache.Kind, blocking bool) cache.Result {
 	c.expireOutstanding()
 	r := c.hier.Access(addr, k)
+	if r.Level == cache.InMemory && c.eng.Tracing() {
+		c.eng.Emit("cache", "miss", c.name,
+			fmt.Sprintf("%v miss addr=%#x ready=%v", k, addr, r.Ready))
+	}
 	if r.TLBMiss {
 		// The walk's memory time is inside r.Ready; the refill handler is
 		// architectural work.

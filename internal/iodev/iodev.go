@@ -259,6 +259,9 @@ func (s *StorageNode) ID() san.NodeID { return s.id }
 // Stats returns a copy of the counters.
 func (s *StorageNode) Stats() Stats { return s.stats }
 
+// Name returns the node's debug name.
+func (s *StorageNode) Name() string { return s.name }
+
 // AddFile registers a file; duplicate names panic (workload setup error).
 func (s *StorageNode) AddFile(f *File) {
 	if _, dup := s.files[f.Name]; dup {
@@ -316,6 +319,10 @@ func (s *StorageNode) absorbWrite(p *sim.Proc, pkt *san.Packet) {
 	if w.got >= w.req.Len {
 		delete(s.writes, pkt.Hdr.Flow)
 		s.stats.Writes++
+		if s.eng.Tracing() {
+			s.eng.Emit("disk", "write", s.name,
+				fmt.Sprintf("write %q [%d,%d) durable", w.req.File, w.req.Off, w.req.Off+w.req.Len))
+		}
 		if w.req.Notify != san.NoNode && w.req.Notify != 0 {
 			// The ack means durable: it leaves once the disk has absorbed
 			// the final byte.
@@ -372,7 +379,10 @@ func (s *StorageNode) serveRead(p *sim.Proc, req ReadReq, arrived sim.Time) {
 	}
 	s.stats.Reads++
 	s.stats.BytesRead += req.Len
-	s.eng.Tracef("%s: read %q [%d,%d) -> node %d", s.name, req.File, req.Off, req.Off+req.Len, req.Dst)
+	if s.eng.Tracing() {
+		s.eng.Emit("disk", "read", s.name,
+			fmt.Sprintf("read %q [%d,%d) -> node %d", req.File, req.Off, req.Off+req.Len, req.Dst))
+	}
 
 	// Reserve the disk for the whole request up front (requests are served
 	// in order on one spindle set); chunk k leaves the platters at a rate-

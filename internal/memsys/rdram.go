@@ -96,6 +96,10 @@ func (m *RDRAM) Stats() Stats { return m.stats }
 // BusUtilization reports data-bus occupancy over elapsed simulated time.
 func (m *RDRAM) BusUtilization() float64 { return m.bus.Utilization() }
 
+// BusBusyTime reports cumulative data-bus occupancy, for utilization
+// computed against an externally chosen elapsed time.
+func (m *RDRAM) BusBusyTime() sim.Time { return m.bus.BusyTime() }
+
 // bankRow maps an address to its bank and row; consecutive pages stripe
 // across banks so sequential streams page-hit heavily.
 func (m *RDRAM) bankRow(addr int64) (bank int, row int64) {

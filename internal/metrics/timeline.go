@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"activesan/internal/cluster"
+	"activesan/internal/san"
+	"activesan/internal/sim"
+)
+
+// DefaultTimelineInterval is the sampling period for cluster timelines:
+// fine enough for a few hundred points across the golden-scale workloads.
+const DefaultTimelineInterval = 250 * sim.Microsecond
+
+// maxTimelineSamples bounds each timeline so very long runs (scale 1) keep
+// snapshots a fixed size; a timeline that hits the cap simply ends there.
+const maxTimelineSamples = 512
+
+// Timelines samples cluster-wide gauges at a fixed simulated interval
+// while a workload runs:
+//
+//	timeline/link_util    mean link utilization over the last interval
+//	timeline/queue_depth  packets sitting in switch output queues
+//	timeline/io_mbps      NIC bytes moved in the last interval, MB/s
+//
+// Start them after cluster.Start, Stop them the moment the workload
+// finishes (a live sampler keeps the event queue non-empty), then fold the
+// series into a snapshot with Into.
+type Timelines struct {
+	samplers map[string]*sim.Sampler
+}
+
+// StartTimelines begins sampling the standard gauges every interval.
+func StartTimelines(c *cluster.Cluster, interval sim.Time) *Timelines {
+	t := &Timelines{samplers: make(map[string]*sim.Sampler)}
+
+	var links []*san.Link
+	for _, sw := range c.Switches {
+		for i := 0; i < sw.Config().Ports; i++ {
+			port := sw.Port(i)
+			if port.In != nil {
+				links = append(links, port.In)
+			}
+			if port.Out != nil {
+				links = append(links, port.Out)
+			}
+		}
+	}
+	prevBusy := sim.Time(0)
+	t.start(c, "timeline/link_util", interval, func() float64 {
+		total := sim.Time(0)
+		for _, l := range links {
+			total += l.BusyTime()
+		}
+		d := total - prevBusy
+		prevBusy = total
+		if len(links) == 0 {
+			return 0
+		}
+		return float64(d) / (float64(interval) * float64(len(links)))
+	})
+
+	t.start(c, "timeline/queue_depth", interval, func() float64 {
+		n := 0
+		for _, sw := range c.Switches {
+			n += sw.QueuedPackets()
+		}
+		return float64(n)
+	})
+
+	prevBytes := int64(0)
+	t.start(c, "timeline/io_mbps", interval, func() float64 {
+		total := int64(0)
+		for _, h := range c.Hosts {
+			total += h.Traffic()
+		}
+		d := total - prevBytes
+		prevBytes = total
+		return float64(d) / interval.Seconds() / 1e6
+	})
+	return t
+}
+
+func (t *Timelines) start(c *cluster.Cluster, name string, interval sim.Time, fn func() float64) {
+	var s *sim.Sampler
+	s = sim.StartSampler(c.Eng, interval, func() float64 {
+		if s.N()+1 >= maxTimelineSamples {
+			s.Stop()
+		}
+		return fn()
+	})
+	t.samplers[name] = s
+}
+
+// Stop ends every timeline immediately.
+func (t *Timelines) Stop() {
+	for _, s := range t.samplers {
+		s.Stop()
+	}
+}
+
+// Into folds the sampled series into a snapshot.
+func (t *Timelines) Into(s *Snapshot) {
+	for name, smp := range t.samplers {
+		s.SetSeries(name, smp.X, smp.Y)
+	}
+}

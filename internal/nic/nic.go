@@ -7,6 +7,8 @@
 package nic
 
 import (
+	"fmt"
+
 	"activesan/internal/memsys"
 	"activesan/internal/san"
 	"activesan/internal/sim"
@@ -170,6 +172,10 @@ func (n *NIC) rxLoop(p *sim.Proc) {
 			c.DoneAt = tail
 			delete(n.partials, key)
 			n.stats.MessagesIn++
+			if n.eng.Tracing() {
+				n.eng.Emit("packet", "recv", n.name,
+					fmt.Sprintf("%s msg src=%d flow=%d size=%d", pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Flow, c.Size))
+			}
 			n.comps.Put(c)
 		}
 		n.in.ReturnCredit()

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"activesan/internal/exp"
+	"activesan/internal/metrics"
 	"activesan/internal/sim"
 	"activesan/internal/stats"
 )
@@ -47,6 +48,13 @@ func Markdown(title string, scale int64, results []*stats.Result) string {
 				}
 				fmt.Fprintf(&b, "| %s | %v | %.3f | %.3f | %d | %.3f | %.3f |\n",
 					r.Config, r.Time, nt, r.HostUtil(), r.Traffic, tr, r.SwitchUtil())
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+		if lines := metricsLines(res); len(lines) > 0 {
+			fmt.Fprintf(&b, "Secondary metrics:\n\n")
+			for _, l := range lines {
+				fmt.Fprintf(&b, "- %s\n", l)
 			}
 			fmt.Fprintf(&b, "\n")
 		}
@@ -100,6 +108,17 @@ func Compare(before, after []*stats.Result) string {
 			dtr := pctDelta(float64(runB.Traffic), float64(runA.Traffic))
 			fmt.Fprintf(&b, "%-10s %-16s %14v %14v %8.2f%% %8.2f%%\n",
 				ra.ID, runA.Config, runB.Time, runA.Time, dt, dtr)
+			// Secondary-metric drift, largest first: the sandiff view of
+			// everything the metrics registry pins beyond the headlines.
+			drifts := metrics.Diff(runB.Metrics, runA.Metrics, 1.0)
+			const show = 5
+			for i, d := range drifts {
+				if i == show {
+					fmt.Fprintf(&b, "%-10s   ... %d more metrics drifted >1%%\n", ra.ID, len(drifts)-show)
+					break
+				}
+				fmt.Fprintf(&b, "%-10s   metric %s\n", ra.ID, d)
+			}
 		}
 		for _, sa := range ra.Series {
 			for _, sb := range rb.Series {
@@ -114,6 +133,20 @@ func Compare(before, after []*stats.Result) string {
 	return b.String()
 }
 
+// metricsLines renders each run's secondary-metric summary as one line.
+func metricsLines(res *stats.Result) []string {
+	var out []string
+	for _, r := range res.Runs {
+		if r.Metrics == nil {
+			continue
+		}
+		if summary := r.Metrics.Summary(); len(summary) > 0 {
+			out = append(out, fmt.Sprintf("`%s`: %s", r.Config, strings.Join(summary, "; ")))
+		}
+	}
+	return out
+}
+
 func pctDelta(before, after float64) float64 {
 	if before == 0 {
 		return 0
@@ -125,7 +158,7 @@ func pctDelta(before, after float64) float64 {
 type Regression struct {
 	Experiment string
 	Config     string // config label, or the series name for series drifts
-	Metric     string // "time", "traffic" or "series-max"
+	Metric     string // "time", "traffic", "series-max" or "metric:<name>"
 	Before     float64
 	After      float64
 	DeltaPct   float64
@@ -140,8 +173,10 @@ func (r Regression) String() string {
 		r.Experiment, r.Config, r.Metric, r.Before, r.After, r.DeltaPct)
 }
 
-// Regressions scans after-vs-before for per-config time and traffic deltas
-// and per-series max deltas whose magnitude exceeds thresholdPct. Any
+// Regressions scans after-vs-before for per-config time and traffic deltas,
+// secondary-metric deltas (every name in the run's metrics snapshot, as
+// "metric:<name>"), and per-series max deltas whose magnitude exceeds
+// thresholdPct. Any
 // drift counts, improvements included: in a calibrated simulator an
 // unexplained speedup is as suspect as a slowdown. Matching is by
 // experiment id and config label; entries present on only one side are
@@ -172,6 +207,12 @@ func Regressions(before, after []*stats.Result, thresholdPct float64) []Regressi
 			}
 			flag(ra.ID, runA.Config, "time", float64(runB.Time), float64(runA.Time))
 			flag(ra.ID, runA.Config, "traffic", float64(runB.Traffic), float64(runA.Traffic))
+			for _, d := range metrics.Diff(runB.Metrics, runA.Metrics, thresholdPct) {
+				out = append(out, Regression{
+					Experiment: ra.ID, Config: runA.Config, Metric: "metric:" + d.Name,
+					Before: d.Before, After: d.After, DeltaPct: d.DeltaPct,
+				})
+			}
 		}
 		for _, sa := range ra.Series {
 			for _, sb := range rb.Series {

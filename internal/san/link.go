@@ -1,6 +1,8 @@
 package san
 
 import (
+	"fmt"
+
 	"activesan/internal/sim"
 )
 
@@ -76,6 +78,18 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // Utilization reports line occupancy over elapsed time.
 func (l *Link) Utilization() float64 { return l.line.Utilization() }
 
+// BusyTime reports cumulative serialization time, for utilization computed
+// against an externally chosen elapsed time (the metrics registry divides
+// by the workload's end rather than the engine clock).
+func (l *Link) BusyTime() sim.Time { return l.line.BusyTime() }
+
+// traceSend emits the typed packet-send event; call sites are guarded so a
+// run without tracing pays nothing.
+func (l *Link) traceSend(pkt *Packet) {
+	l.eng.Emit("packet", "send", l.name, fmt.Sprintf("%s pkt src=%d dst=%d flow=%d seq=%d size=%d",
+		pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq, pkt.Size))
+}
+
 // FillRate returns the rate at which a delivered packet's payload streams
 // into the receiver, for valid-bit modelling.
 func (l *Link) FillRate() float64 { return l.cfg.BandwidthBytesPerSec }
@@ -85,6 +99,9 @@ func (l *Link) FillRate() float64 { return l.cfg.BandwidthBytesPerSec }
 // wire (its tail has left the sender), modelling a DMA engine that moves to
 // the next packet as soon as the line frees.
 func (l *Link) Send(p *sim.Proc, pkt *Packet) {
+	if l.eng.Tracing() {
+		l.traceSend(pkt)
+	}
 	l.credits.Acquire(p)
 	end := l.line.Reserve(sim.TransferTime(pkt.Wire(), l.cfg.BandwidthBytesPerSec))
 	headAt := end - sim.TransferTime(pkt.Size, l.cfg.BandwidthBytesPerSec) + l.cfg.Propagation
@@ -98,6 +115,9 @@ func (l *Link) Send(p *sim.Proc, pkt *Packet) {
 // blocks if no credit is available). Used by senders that pipeline many
 // packets from one process.
 func (l *Link) SendAsync(p *sim.Proc, pkt *Packet) {
+	if l.eng.Tracing() {
+		l.traceSend(pkt)
+	}
 	l.credits.Acquire(p)
 	end := l.line.Reserve(sim.TransferTime(pkt.Wire(), l.cfg.BandwidthBytesPerSec))
 	headAt := end - sim.TransferTime(pkt.Size, l.cfg.BandwidthBytesPerSec) + l.cfg.Propagation

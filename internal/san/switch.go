@@ -110,6 +110,19 @@ func (s *Switch) Config() SwitchConfig { return s.cfg }
 // Stats returns a copy of the counters.
 func (s *Switch) Stats() SwitchStats { return s.stats }
 
+// QueuedPackets reports the packets currently sitting in output queues —
+// the instantaneous central-queue occupancy, for timeline sampling.
+func (s *Switch) QueuedPackets() int {
+	n := 0
+	for _, q := range s.outQ {
+		n += q.Len()
+	}
+	return n
+}
+
+// PoolFree reports the buffer-pool slots currently free.
+func (s *Switch) PoolFree() int { return s.pool.Available() }
+
 // Port returns port i's links.
 func (s *Switch) Port(i int) Port { return s.ports[i] }
 
@@ -182,8 +195,11 @@ func (s *Switch) inputLoop(p *sim.Proc, i int) {
 	for {
 		pkt := in.Recv(p)
 		p.Sleep(s.cfg.RoutingLatency)
-		s.eng.Tracef("%s: in%d %s pkt src=%d dst=%d flow=%d seq=%d size=%d",
-			s.name, i, pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq, pkt.Size)
+		if s.eng.Tracing() {
+			s.eng.Emit("packet", "recv", s.name,
+				fmt.Sprintf("in%d %s pkt src=%d dst=%d flow=%d seq=%d size=%d",
+					i, pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq, pkt.Size))
+		}
 		if pkt.Hdr.Dst == s.id {
 			s.stats.Local++
 			if s.local == nil {

@@ -63,31 +63,68 @@ type Engine struct {
 
 	stopped bool
 	tracing bool
-	tracer  func(t Time, msg string)
+	sink    TraceSink
 }
 
-// defaultTracer, when set, is installed on every new engine — the hook the
-// CLI's -trace flag uses to observe experiments that build their own
-// engines internally. Held behind an atomic pointer so engines can be
-// constructed concurrently with SetDefaultTracer.
-var defaultTracer atomic.Pointer[func(t Time, msg string)]
+// TraceEvent is one typed trace record. Cat groups events for filtering
+// ("packet", "handler", "cache", "disk", "generic"), Name is the event kind
+// within the category ("send", "dispatch", "retire", ...), Comp names the
+// emitting component ("sw0", "h3.cpu"), and Detail carries the rest as
+// preformatted text.
+type TraceEvent struct {
+	At     Time
+	Cat    string
+	Name   string
+	Comp   string
+	Detail string
+}
 
-// SetDefaultTracer installs (or clears, with nil) a tracer for all engines
-// created afterwards. Safe to call concurrently with NewEngine; the tracer
-// itself must be safe for concurrent use if engines run in parallel.
+// String renders the event as the legacy "comp: detail" trace-line body.
+func (ev TraceEvent) String() string {
+	if ev.Comp == "" {
+		return ev.Detail
+	}
+	return ev.Comp + ": " + ev.Detail
+}
+
+// TraceSink consumes typed trace events. A sink installed while engines run
+// in parallel is invoked from every engine's goroutine and must do its own
+// locking.
+type TraceSink func(ev TraceEvent)
+
+// defaultSink, when set, is installed on every new engine — the hook the
+// CLI's -trace/-trace-out flags use to observe experiments that build their
+// own engines internally. Held behind an atomic pointer so engines can be
+// constructed concurrently with SetDefaultTracer/SetDefaultTraceSink.
+var defaultSink atomic.Pointer[TraceSink]
+
+// SetDefaultTracer installs (or clears, with nil) a legacy string tracer
+// for all engines created afterwards. Safe to call concurrently with
+// NewEngine; the tracer itself must be safe for concurrent use if engines
+// run in parallel.
 func SetDefaultTracer(fn func(t Time, msg string)) {
 	if fn == nil {
-		defaultTracer.Store(nil)
+		defaultSink.Store(nil)
 		return
 	}
-	defaultTracer.Store(&fn)
+	SetDefaultTraceSink(func(ev TraceEvent) { fn(ev.At, ev.String()) })
+}
+
+// SetDefaultTraceSink installs (or clears, with nil) a typed trace sink for
+// all engines created afterwards.
+func SetDefaultTraceSink(sink TraceSink) {
+	if sink == nil {
+		defaultSink.Store(nil)
+		return
+	}
+	defaultSink.Store(&sink)
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
 	e := &Engine{}
-	if fn := defaultTracer.Load(); fn != nil {
-		e.SetTracer(*fn)
+	if sink := defaultSink.Load(); sink != nil {
+		e.SetTraceSink(*sink)
 	}
 	return e
 }
@@ -104,12 +141,24 @@ func (e *Engine) Events() int64 { return e.fired }
 // Schedule runs fn at the given absolute time, which must not be in the
 // past.
 func (e *Engine) Schedule(at Time, fn func()) {
+	e.schedule(at, fn)
+}
+
+// schedule is Schedule returning the queued event, so in-package callers
+// (the sampler) can cancel a pending timer.
+func (e *Engine) schedule(at Time, fn func()) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
 }
+
+// cancel marks a queued event dead; Run discards it without firing it or
+// advancing the clock to its timestamp.
+func (ev *event) cancel() { ev.fn = nil }
 
 // After runs fn after the given delay.
 func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
@@ -124,6 +173,9 @@ func (e *Engine) Run() Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
 		e.now = ev.at
 		e.fired++
 		ev.fn()
@@ -137,6 +189,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
 		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
 		e.now = ev.at
 		e.fired++
 		ev.fn()
@@ -161,15 +216,43 @@ func (e *Engine) Shutdown() {
 	e.all = nil
 }
 
-// SetTracer installs a trace sink; nil disables tracing.
+// SetTracer installs a legacy string trace sink; nil disables tracing.
+// Typed events reach fn rendered as "comp: detail" lines, so existing
+// consumers keep seeing the familiar format.
 func (e *Engine) SetTracer(fn func(t Time, msg string)) {
-	e.tracer = fn
-	e.tracing = fn != nil
+	if fn == nil {
+		e.SetTraceSink(nil)
+		return
+	}
+	e.SetTraceSink(func(ev TraceEvent) { fn(ev.At, ev.String()) })
 }
 
-// Tracef emits a trace line if tracing is enabled.
+// SetTraceSink installs a typed trace sink; nil disables tracing.
+func (e *Engine) SetTraceSink(sink TraceSink) {
+	e.sink = sink
+	e.tracing = sink != nil
+}
+
+// Tracing reports whether a trace sink is installed. Hot paths should
+// check it before building event arguments:
+//
+//	if eng.Tracing() {
+//		eng.Emit("packet", "send", name, fmt.Sprintf(...))
+//	}
+func (e *Engine) Tracing() bool { return e.tracing }
+
+// Emit delivers a typed trace event at the current simulated time. The
+// Detail formatting cost is on the caller, so guard call sites with
+// Tracing().
+func (e *Engine) Emit(cat, name, comp, detail string) {
+	if e.tracing {
+		e.sink(TraceEvent{At: e.now, Cat: cat, Name: name, Comp: comp, Detail: detail})
+	}
+}
+
+// Tracef emits an untyped ("generic") trace line if tracing is enabled.
 func (e *Engine) Tracef(format string, args ...any) {
 	if e.tracing {
-		e.tracer(e.now, fmt.Sprintf(format, args...))
+		e.sink(TraceEvent{At: e.now, Cat: "generic", Detail: fmt.Sprintf(format, args...)})
 	}
 }

@@ -8,15 +8,26 @@ type Sampler struct {
 	Y []float64
 
 	stop bool
+	proc *Proc
 }
 
 // StartSampler begins sampling fn every interval, starting one interval in.
+// fn may call Stop to end the timeline after the current sample.
 func StartSampler(eng *Engine, interval Time, fn func() float64) *Sampler {
 	s := &Sampler{}
-	eng.Spawn("sampler", func(p *Proc) {
+	s.proc = eng.Spawn("sampler", func(p *Proc) {
 		for !s.stop {
-			p.Sleep(interval)
+			// An interruptible sleep: Stop unparks the process immediately
+			// instead of letting it doze through one more interval, and the
+			// pending timer is cancelled so it cannot hold the event queue
+			// open or advance the clock past the run's end.
+			deadline := p.Now() + interval
+			timer := eng.schedule(deadline, p.unparkIfWaiting)
+			for !s.stop && p.Now() < deadline {
+				p.park()
+			}
 			if s.stop {
+				timer.cancel()
 				return
 			}
 			s.X = append(s.X, p.Now().Seconds())
@@ -26,8 +37,15 @@ func StartSampler(eng *Engine, interval Time, fn func() float64) *Sampler {
 	return s
 }
 
-// Stop ends sampling at the next tick.
-func (s *Sampler) Stop() { s.stop = true }
+// Stop ends sampling and wakes the sampler process immediately, so a
+// stopped sampler no longer holds the event queue open for a further
+// interval.
+func (s *Sampler) Stop() {
+	s.stop = true
+	if s.proc != nil {
+		s.proc.unparkIfWaiting()
+	}
+}
 
 // N reports how many samples were taken.
 func (s *Sampler) N() int { return len(s.X) }

@@ -1,0 +1,88 @@
+package sim
+
+import "testing"
+
+func TestSamplerStopWakesImmediately(t *testing.T) {
+	// A stopped sampler must not doze through one more interval: Stop
+	// unwinds the sampler process on the spot and cancels its pending
+	// timer, so the event queue drains at the workload's end rather than
+	// one sampling interval later.
+	e := NewEngine()
+	s := StartSampler(e, Second, func() float64 { return 1 })
+	e.Spawn("work", func(p *Proc) {
+		p.Sleep(30 * Microsecond)
+		s.Stop()
+	})
+	end := e.Run()
+	if end != 30*Microsecond {
+		t.Fatalf("Run ended at %v, want 30us — the cancelled timer advanced the clock", end)
+	}
+	if s.N() != 0 {
+		t.Fatalf("sampler stopped mid-interval took %d samples, want 0", s.N())
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("sampler leaked a proc")
+	}
+}
+
+func TestSamplerTicksAtInterval(t *testing.T) {
+	e := NewEngine()
+	v := 0.0
+	s := StartSampler(e, 10*Microsecond, func() float64 { return v })
+	e.Spawn("work", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(10 * Microsecond)
+			v++
+		}
+		p.Sleep(5 * Microsecond)
+		s.Stop()
+	})
+	e.Run()
+	if s.N() != 4 {
+		t.Fatalf("samples = %d, want 4", s.N())
+	}
+	for i, x := range s.X {
+		want := (Time(i+1) * 10 * Microsecond).Seconds()
+		if x != want {
+			t.Fatalf("sample %d at %gs, want %gs", i, x, want)
+		}
+	}
+}
+
+func TestSamplerStopFromCallback(t *testing.T) {
+	// fn may Stop its own sampler — the timeline cap used by the metrics
+	// layer. The sample that triggered the stop is still recorded.
+	e := NewEngine()
+	var s *Sampler
+	n := 0
+	s = StartSampler(e, Microsecond, func() float64 {
+		n++
+		if n == 3 {
+			s.Stop()
+		}
+		return float64(n)
+	})
+	e.Spawn("work", func(p *Proc) { p.Sleep(Millisecond) })
+	e.Run()
+	if s.N() != 3 {
+		t.Fatalf("capped sampler took %d samples, want 3", s.N())
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("sampler leaked a proc")
+	}
+}
+
+func TestSamplerStopBeforeRun(t *testing.T) {
+	// Stopping before the engine ever runs is a no-op start: no samples,
+	// no leaked proc, no events left behind.
+	e := NewEngine()
+	s := StartSampler(e, Microsecond, func() float64 { return 0 })
+	s.Stop()
+	e.Run()
+	if s.N() != 0 {
+		t.Fatalf("samples = %d, want 0", s.N())
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("sampler leaked a proc")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"activesan/internal/metrics"
 	"activesan/internal/sim"
 )
 
@@ -33,6 +34,11 @@ type Run struct {
 	// Extra carries benchmark-specific results (e.g. matches found) for
 	// correctness reporting.
 	Extra map[string]any
+	// Metrics is the full secondary-metric snapshot of the run's cluster
+	// (per-component counters, derived utilizations, timelines). Present
+	// for cluster-based runs; golden files pin it alongside the headline
+	// numbers.
+	Metrics *metrics.Snapshot `json:",omitempty"`
 }
 
 // HostUtil returns the paper's host utilization: (1 - idle)/time averaged
@@ -168,6 +174,26 @@ func (res *Result) Format() string {
 			fmt.Fprintf(&b, "%-10s %12s %12s %12s %8.1f %8.1f %8.1f\n",
 				bar.Label, bar.Busy, bar.Stall, bar.Idle,
 				pct(bar.Busy), pct(bar.Stall), pct(bar.Idle))
+		}
+	}
+	hasMetrics := false
+	for _, r := range res.Runs {
+		if r.Metrics != nil {
+			hasMetrics = true
+			break
+		}
+	}
+	if hasMetrics {
+		fmt.Fprintf(&b, "-- secondary metrics --\n")
+		for _, r := range res.Runs {
+			if r.Metrics == nil {
+				continue
+			}
+			summary := r.Metrics.Summary()
+			if len(summary) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-14s %s\n", r.Config, strings.Join(summary, "; "))
 		}
 	}
 	for _, s := range res.Series {

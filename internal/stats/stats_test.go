@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"activesan/internal/metrics"
 	"activesan/internal/sim"
 )
 
@@ -32,12 +33,22 @@ func TestHostUtil(t *testing.T) {
 	if (Run{}).HostUtil() != 0 {
 		t.Fatal("zero run should have zero util")
 	}
+	// Zero time or zero hosts alone must not divide by zero.
+	if got := (Run{HostBusy: 10, Hosts: 1}).HostUtil(); got != 0 {
+		t.Fatalf("zero-time util = %v, want 0", got)
+	}
+	if got := (Run{Time: 100, HostBusy: 10}).HostUtil(); got != 0 {
+		t.Fatalf("zero-hosts util = %v, want 0", got)
+	}
 }
 
 func TestSwitchUtil(t *testing.T) {
 	r := Run{Time: 100, SwitchBusy: 25, SwitchStall: 25}
 	if got := r.SwitchUtil(); got != 0.5 {
 		t.Fatalf("switch util = %v, want 0.5", got)
+	}
+	if got := (Run{SwitchBusy: 25}).SwitchUtil(); got != 0 {
+		t.Fatalf("zero-time switch util = %v, want 0", got)
 	}
 }
 
@@ -71,6 +82,33 @@ func TestBreakdownBar(t *testing.T) {
 	b = BreakdownBar("x", 80, 40, 100, 1)
 	if b.Idle != 0 {
 		t.Fatalf("idle = %v, want clamp to 0", b.Idle)
+	}
+	if b.Total() != 120 {
+		t.Fatalf("clamped total = %v, want busy+stall", b.Total())
+	}
+	// A non-positive CPU count falls back to 1 instead of dividing by zero.
+	b = BreakdownBar("x", 30, 20, 100, 0)
+	if b.Busy != 30 || b.Stall != 20 || b.Idle != 50 {
+		t.Fatalf("n=0 bar = %+v", b)
+	}
+}
+
+func TestFormatSecondaryMetrics(t *testing.T) {
+	res := sampleResult()
+	m := metrics.NewSnapshot()
+	m.Set("sw0/port1/out/util", 0.5)
+	res.Runs[0].Metrics = m
+	out := res.Format()
+	if !strings.Contains(out, "-- secondary metrics --") {
+		t.Fatalf("missing secondary metrics block:\n%s", out)
+	}
+	if !strings.Contains(out, "link util max 50.0% (sw0/port1/out)") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+	// Runs without metrics (or with nothing to summarize) print no block.
+	res.Runs[0].Metrics = nil
+	if strings.Contains(res.Format(), "secondary metrics") {
+		t.Fatal("metrics block printed for metric-less runs")
 	}
 }
 
