@@ -10,6 +10,7 @@
 //	activesim -run all -parallel 8   # fan the registry over 8 workers
 //	activesim -run fig15 -scale 1    # full 128-node reduction sweep
 //	activesim -run fig3 -metrics-out m.json -trace-out t.json
+//	activesim -run fig3 -cpuprofile prof/cpu.pb.gz -memprofile prof/mem.pb.gz
 //
 // With -run all the registry fans out over -parallel worker goroutines
 // (default: the CPU count); results always print in registry order, so the
@@ -35,6 +36,7 @@ import (
 	"sync"
 
 	"activesan"
+	"activesan/internal/prof"
 )
 
 func main() {
@@ -50,7 +52,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file")
 	traceLimit := flag.Int("tracelimit", 200000, "maximum trace lines/events")
 	metricsOut := flag.String("metrics-out", "", "write every run's secondary-metric snapshot as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	defer prof.Start(*cpuProfile, *memProfile)()
 
 	if *trace != "" && *traceOut != "" {
 		fmt.Fprintln(os.Stderr, "activesim: -trace and -trace-out share the trace hook; pick one")

@@ -16,6 +16,9 @@
 // -metrics-out collects each sweep point's secondary-metric snapshot into
 // one JSON file keyed by point label; -trace-out streams typed trace events
 // as a Chrome trace-event / Perfetto JSON file (see cmd/activesim).
+//
+// -cpuprofile/-memprofile write pprof profiles of the sweep itself (see
+// PERFORMANCE.md for the profiling workflow).
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"activesan/internal/apps/reduce"
 	"activesan/internal/apps/twolevel"
 	"activesan/internal/metrics"
+	"activesan/internal/prof"
 	"activesan/internal/sim"
 	"activesan/internal/stats"
 )
@@ -150,7 +154,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file")
 	traceLimit := flag.Int("tracelimit", 200000, "maximum trace events for -trace-out")
 	metricsOut := flag.String("metrics-out", "", "write each sweep point's secondary-metric snapshot as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
+
+	defer prof.Start(*cpuProfile, *memProfile)()
 
 	if *traceOut != "" {
 		if dir := filepath.Dir(*traceOut); dir != "." {

@@ -34,6 +34,13 @@ type Breakdown struct {
 	Stall sim.Time
 }
 
+// missSlot is one in-flight non-blocking miss: the line address and the
+// instant its data arrives.
+type missSlot struct {
+	line  int64
+	ready sim.Time
+}
+
 // CPU is one processor's timing model.
 type CPU struct {
 	eng  *sim.Engine
@@ -47,9 +54,14 @@ type CPU struct {
 
 	acct Breakdown
 
-	// outstanding holds completion times of in-flight non-blocking misses,
-	// keyed by line address.
-	outstanding map[int64]sim.Time
+	// outstanding is the paper's four-entry window of in-flight non-blocking
+	// misses. The window is tiny and bounded, so a fixed array scanned
+	// linearly replaces the old map: every memory reference probes it, and
+	// the array probe costs a handful of compares with no hashing, no
+	// iteration-order tie-breaking and no allocation. Slots [0, nOut) are
+	// live, in insertion order.
+	outstanding [maxOutstandingLines]missSlot
+	nOut        int
 
 	loads, stores, prefetches int64
 }
@@ -61,12 +73,11 @@ func New(eng *sim.Engine, name string, clk sim.Clock, hier *cache.Hierarchy, qua
 		panic("cpu: nil hierarchy")
 	}
 	return &CPU{
-		eng:         eng,
-		name:        name,
-		clk:         clk,
-		hier:        hier,
-		quantum:     quantum,
-		outstanding: make(map[int64]sim.Time),
+		eng:     eng,
+		name:    name,
+		clk:     clk,
+		hier:    hier,
+		quantum: quantum,
 	}
 }
 
@@ -182,58 +193,77 @@ func (c *CPU) ref(p *sim.Proc, addr int64, k cache.Kind, blocking bool) cache.Re
 	// Non-blocking miss: occupy an outstanding-line slot; if four lines are
 	// already in flight the processor stalls until the oldest drains.
 	line := c.hier.L1D().LineBase(addr)
-	if _, dup := c.outstanding[line]; dup {
-		return r
+	for i := 0; i < c.nOut; i++ {
+		if c.outstanding[i].line == line {
+			return r
+		}
 	}
-	for len(c.outstanding) >= maxOutstandingLines {
-		earliest := sim.Forever
-		victim := int64(-1)
-		for a, t := range c.outstanding {
-			// Tie-break on address so map iteration order cannot perturb
-			// the simulation.
-			if t < earliest || (t == earliest && a < victim) {
-				earliest, victim = t, a
+	for c.nOut >= maxOutstandingLines {
+		// Earliest completion wins; ties break on the lower line address
+		// (the same rule the map version used, so timings are unchanged).
+		victim := 0
+		for i := 1; i < c.nOut; i++ {
+			s, v := c.outstanding[i], c.outstanding[victim]
+			if s.ready < v.ready || (s.ready == v.ready && s.line < v.line) {
+				victim = i
 			}
 		}
-		c.StallUntil(p, earliest)
-		delete(c.outstanding, victim)
+		c.StallUntil(p, c.outstanding[victim].ready)
+		c.removeOutstanding(victim)
 		c.expireOutstanding()
 	}
-	c.outstanding[line] = r.Ready
+	c.outstanding[c.nOut] = missSlot{line: line, ready: r.Ready}
+	c.nOut++
 	return r
+}
+
+// removeOutstanding drops slot i, keeping the live prefix dense.
+func (c *CPU) removeOutstanding(i int) {
+	c.nOut--
+	for ; i < c.nOut; i++ {
+		c.outstanding[i] = c.outstanding[i+1]
+	}
 }
 
 // expireOutstanding retires misses whose data has arrived by the CPU's
 // virtual clock.
 func (c *CPU) expireOutstanding() {
-	if len(c.outstanding) == 0 {
+	if c.nOut == 0 {
 		return
 	}
 	now := c.vnow()
-	for a, t := range c.outstanding {
-		if t <= now {
-			delete(c.outstanding, a)
+	kept := 0
+	for i := 0; i < c.nOut; i++ {
+		if c.outstanding[i].ready > now {
+			c.outstanding[kept] = c.outstanding[i]
+			kept++
 		}
 	}
+	c.nOut = kept
 }
 
 // TouchRange walks [base, base+n) with the given reference kind at cache-line
-// granularity — the common pattern for streaming over a buffer.
+// granularity — the common pattern for streaming over a buffer. The kind is
+// resolved to a counter and blocking mode once, outside the per-line loop.
 func (c *CPU) TouchRange(p *sim.Proc, base, n int64, k cache.Kind) {
 	if n <= 0 {
 		return
 	}
+	var count *int64
+	blocking := false
+	switch k {
+	case cache.Load:
+		count, blocking = &c.loads, true
+	case cache.Store:
+		count = &c.stores
+	case cache.Prefetch:
+		count = &c.prefetches
+	default:
+		panic("cpu: TouchRange kind must be load, store or prefetch")
+	}
 	step := c.hier.L1D().LineSize()
 	for a := c.hier.L1D().LineBase(base); a < base+n; a += step {
-		switch k {
-		case cache.Load:
-			c.Load(p, a)
-		case cache.Store:
-			c.Store(p, a)
-		case cache.Prefetch:
-			c.Prefetch(p, a)
-		default:
-			panic("cpu: TouchRange kind must be load, store or prefetch")
-		}
+		*count++
+		c.ref(p, a, k, blocking)
 	}
 }

@@ -1,0 +1,66 @@
+// Package prof wires the CLIs' -cpuprofile/-memprofile flags to
+// runtime/pprof. Both commands share the same semantics: parent directories
+// are created like -json's, the CPU profile covers everything after startup,
+// and the heap profile is written at exit after a final GC so it reflects
+// live objects rather than collectable garbage.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the two flag values ("" disables either) and
+// returns a stop function to defer. Errors are reported, not fatal: a bad
+// profile path should not kill a long sweep.
+func Start(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			f.Close()
+		} else {
+			cpuFile = f
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Printf("wrote %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("wrote %s\n", memPath)
+		}
+	}
+}
+
+// create opens path for writing, making parent directories as needed.
+func create(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}

@@ -1,0 +1,236 @@
+package sim
+
+import "testing"
+
+// The engine microbenchmarks pin the hot-path costs that every experiment
+// pays per event: heap scheduling, the same-time run-queue bypass, timer
+// cancellation, and process context switches. The companion TestXxxZeroAllocs
+// gates assert that the pooled steady state allocates nothing, so an
+// accidental closure or slice growth on these paths fails CI rather than
+// silently taxing every simulation. BENCH_engine.json at the repo root holds
+// the checked-in baseline; compare with scripts/benchdiff.
+
+func nop() {}
+
+// BenchmarkSchedule measures heap-path scheduling: events land at spread-out
+// future times, fire in batches, and their slots recycle through the pool.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Spread arrival times so events exercise real heap sifts.
+		e.Schedule(e.now+Time(1+i%97), nop)
+		if e.pending() >= 1024 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkSameTimeEvent measures the run-queue bypass: events scheduled at
+// the current instant never touch the heap.
+func BenchmarkSameTimeEvent(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.now, nop)
+		if e.pending() >= 256 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkScheduleCancel measures the sampler's timer pattern: schedule a
+// future event, then cancel it (direct heap removal, slot recycled).
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := e.schedule(e.now+Time(1+i%97), nop, nil)
+		e.cancel(t)
+	}
+}
+
+// BenchmarkProcSelfWake measures a process sleeping and waking itself — the
+// dominant context-switch pattern, which the migrating-driver design serves
+// with no channel operation at all.
+func BenchmarkProcSelfWake(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	b.ReportAllocs()
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	e.Run()
+}
+
+// BenchmarkProcSwitch measures a genuine cross-process switch: two processes
+// ping-pong through a pair of queues, so every iteration transfers control
+// between goroutines twice.
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEngine()
+	ping, pong := NewQueue[int](), NewQueue[int]()
+	n := b.N
+	b.ReportAllocs()
+	e.Spawn("ping", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ping.Put(i)
+			pong.Get(p)
+		}
+	})
+	e.Spawn("pong", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ping.Get(p)
+			pong.Put(i)
+		}
+	})
+	e.Run()
+}
+
+// warmEngine grows an engine's pool, heap, and run queue past what the alloc
+// gates below need, so the measured region only recycles capacity.
+func warmEngine(e *Engine) {
+	for i := 0; i < 512; i++ {
+		e.Schedule(e.now+Time(1+i), nop)
+		e.Schedule(e.now, nop)
+	}
+	e.Run()
+}
+
+func TestScheduleZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	warmEngine(e)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(e.now+Time(1+i%17), nop)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("heap schedule/fire path allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestSameTimeZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	warmEngine(e)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(e.now, nop)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("same-time run-queue path allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestScheduleCancelZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	warmEngine(e)
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			tm := e.schedule(e.now+Time(1+i%17), nop, nil)
+			e.cancel(tm)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule/cancel path allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestProcSelfWakeZeroAllocs(t *testing.T) {
+	// A process sleeping in a loop is the pooled path end to end: proc wake
+	// events carry no closure and the slot recycles every iteration. The
+	// engine is driven by the proc itself, so the whole Run is steady-state
+	// after the spawn.
+	e := NewEngine()
+	warmEngine(e)
+	wakes := 0
+	e.Spawn("sleeper", func(p *Proc) {
+		// One warm-up sleep outside the measured region grows nothing: the
+		// pool is already hot.
+		for {
+			p.Sleep(Nanosecond)
+			wakes++
+			if wakes >= 1<<20 {
+				return
+			}
+		}
+	})
+	// Measure the full run minus the spawn overhead by sampling allocations
+	// around Run directly.
+	allocs := testing.AllocsPerRun(1, func() { e.Run() })
+	if allocs != 0 {
+		t.Fatalf("proc self-wake run allocated %.1f, want 0", allocs)
+	}
+	if wakes < 1<<20 {
+		t.Fatalf("sleeper only woke %d times", wakes)
+	}
+}
+
+// TestCancelRecycledSlotIsNoop pins the timer-handle guard: cancelling after
+// the event fired — even after its pool slot was recycled for a newer event
+// — must not disturb the queue.
+func TestCancelRecycledSlotIsNoop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.schedule(10, func() { fired++ }, nil)
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("event fired %d times, want 1", fired)
+	}
+	// Recycle the slot for a new event, then cancel the stale handle.
+	e.schedule(20, func() { fired++ }, nil)
+	e.cancel(tm)
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("stale cancel killed a recycled event: fired = %d, want 2", fired)
+	}
+}
+
+// TestCancelHeapMiddle pins direct heap removal: cancelling an event that is
+// neither the top nor a leaf must keep every other event firing in order.
+func TestCancelHeapMiddle(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var timers []timer
+	for _, at := range []Time{50, 10, 40, 20, 60, 30, 70, 15, 45} {
+		at := at
+		timers = append(timers, e.schedule(at, func() { fired = append(fired, at) }, nil))
+	}
+	e.cancel(timers[2]) // at=40
+	e.cancel(timers[3]) // at=20
+	e.Run()
+	want := []Time{10, 15, 30, 45, 50, 60, 70}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.now != 70 {
+		t.Fatalf("end time %v, want 70", e.now)
+	}
+}
+
+// TestCancelRunQueueEntry pins the same-time cancellation path: a cancelled
+// run-queue entry is skipped and its slot recycled without firing.
+func TestCancelRunQueueEntry(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func() {
+		tm := e.schedule(e.now, func() { fired++ }, nil)
+		e.schedule(e.now, func() { fired++ }, nil)
+		e.cancel(tm)
+	})
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d same-time events, want 1 (other cancelled)", fired)
+	}
+}

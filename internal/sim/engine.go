@@ -1,37 +1,43 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 )
 
 // event is a scheduled callback. Events with equal times fire in scheduling
 // order (seq), which keeps the simulation deterministic.
+//
+// Events live in the engine's pool and are addressed by index, never by
+// pointer: the pool is a single slice that grows to the simulation's
+// high-water mark and is then recycled through a free list, so steady-state
+// scheduling does not allocate. An event runs either a plain callback (fn)
+// or resumes a process (proc); the proc form exists so the process wake
+// paths (Sleep, unpark, Spawn) need no per-wake closure.
 type event struct {
 	at  Time
 	seq int64
 	fn  func()
+	// proc, when non-nil, is stepped instead of calling fn.
+	proc *Proc
+	// heapIdx is the event's position in the engine's heap, heapNone once
+	// popped or freed, or heapRunq while the event sits in the run queue.
+	heapIdx int32
+	// next links free pool slots.
+	next int32
 }
 
-type eventHeap []*event
+const (
+	heapNone = -1
+	heapRunq = -2
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// timer identifies a scheduled event so in-package callers (the sampler) can
+// cancel it. The seq field guards against the pool slot having been recycled
+// for a newer event.
+type timer struct {
+	idx int32
+	seq int64
 }
 
 // Engine is a discrete-event simulator.
@@ -44,11 +50,38 @@ func (h *eventHeap) Pop() any {
 // SetDefaultTracer, is atomic. A tracer function installed while engines
 // run in parallel is invoked from every engine's goroutine and must do its
 // own locking.
+//
+// Scheduling model: exactly one goroutine is ever active — either the
+// goroutine that called Run (the "main" driver) or one process goroutine.
+// There is no dedicated engine goroutine that every context switch must
+// bounce through: a process that blocks keeps driving the event loop
+// inline, so a process that wakes itself (the dominant pattern — Sleep,
+// zero-delay yields, self-service queues) pays no channel operation at all,
+// and a switch to a different process is a single token handoff instead of
+// a yield-to-engine plus a resume.
 type Engine struct {
-	now    Time
-	events eventHeap
-	seq    int64
-	fired  int64
+	now Time
+
+	// pool holds every event slot ever allocated by this engine; free heads
+	// the list of recycled slots (-1 when empty).
+	pool []event
+	free int32
+
+	// heap is a 4-ary min-heap of pool indices ordered by (at, seq). The
+	// wide fan-out halves the tree depth of the old binary heap and keeps
+	// sift-down's child scan inside one cache line of indices.
+	heap []int32
+
+	// runq is the same-time FIFO: events scheduled at the current instant —
+	// the dominant case, from unpark, Proc wake-ups and zero-delay sleeps —
+	// bypass the heap entirely. Entries before runqHead have been consumed.
+	// Appending in seq order keeps the queue (at, seq)-sorted, so its head
+	// competes with the heap top by a single comparison.
+	runq     []int32
+	runqHead int
+
+	seq   int64
+	fired int64
 
 	// procs counts live (spawned, not yet finished) processes, for leak
 	// detection in tests.
@@ -57,11 +90,24 @@ type Engine struct {
 	// goroutines of perpetual servers (switch port loops and the like).
 	all []*Proc
 
-	// fatal holds a panic raised inside a process goroutine, re-raised in
-	// engine context by the next step().
+	// fatal holds a panic raised inside a process goroutine, re-raised from
+	// Run by the main driver when control returns to it.
 	fatal *procPanic
 
+	// mainWake resumes the Run caller when a phase ends (queue drained,
+	// deadline reached, Stop, or a fatal process panic) while a process
+	// goroutine was driving.
+	mainWake chan struct{}
+
+	// deadline bounds the current Run/RunUntil phase; every driver honours
+	// it, whichever goroutine happens to be running the loop.
+	deadline Time
+
 	stopped bool
+	// shuttingDown makes finishing processes hand control straight back to
+	// Shutdown instead of driving the remaining event queue.
+	shuttingDown bool
+
 	tracing bool
 	sink    TraceSink
 }
@@ -122,7 +168,7 @@ func SetDefaultTraceSink(sink TraceSink) {
 
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
-	e := &Engine{}
+	e := &Engine{free: heapNone, mainWake: make(chan struct{})}
 	if sink := defaultSink.Load(); sink != nil {
 		e.SetTraceSink(*sink)
 	}
@@ -138,27 +184,87 @@ func (e *Engine) LiveProcs() int { return e.procs }
 // Events reports how many events have fired — the simulation's work metric.
 func (e *Engine) Events() int64 { return e.fired }
 
+// pending reports how many events are queued (heap plus live run queue).
+func (e *Engine) pending() int { return len(e.heap) + len(e.runq) - e.runqHead }
+
+// alloc takes a pool slot from the free list, growing the pool only until
+// the simulation reaches its high-water mark of in-flight events.
+func (e *Engine) alloc() int32 {
+	if idx := e.free; idx != heapNone {
+		e.free = e.pool[idx].next
+		return idx
+	}
+	e.pool = append(e.pool, event{})
+	return int32(len(e.pool) - 1)
+}
+
+// release returns a fired or cancelled event's slot to the free list. The
+// callback reference is dropped so the pool does not pin dead closures, and
+// seq is zeroed so stale timers can never match a recycled slot.
+func (e *Engine) release(idx int32) {
+	ev := &e.pool[idx]
+	ev.fn = nil
+	ev.proc = nil
+	ev.seq = 0
+	ev.heapIdx = heapNone
+	ev.next = e.free
+	e.free = idx
+}
+
 // Schedule runs fn at the given absolute time, which must not be in the
 // past.
 func (e *Engine) Schedule(at Time, fn func()) {
-	e.schedule(at, fn)
+	e.schedule(at, fn, nil)
 }
 
-// schedule is Schedule returning the queued event, so in-package callers
-// (the sampler) can cancel a pending timer.
-func (e *Engine) schedule(at Time, fn func()) *event {
+// schedule queues a callback or a process wake-up and returns a timer handle
+// so in-package callers (the sampler) can cancel it.
+func (e *Engine) schedule(at Time, fn func(), proc *Proc) timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	idx := e.alloc()
+	ev := &e.pool[idx]
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.proc = proc
+	// Same-time events take the FIFO run queue instead of the heap. The
+	// tail check keeps the queue (at, seq)-sorted even if the clock was
+	// rewound by a Stop/RunUntil edge case, so pop order is always the
+	// global (at, seq) minimum — identical to the old single-heap order.
+	if at == e.now && (e.runqHead == len(e.runq) || e.pool[e.runq[len(e.runq)-1]].at <= at) {
+		ev.heapIdx = heapRunq
+		e.runq = append(e.runq, idx)
+	} else {
+		e.heapPush(idx)
+	}
+	return timer{idx: idx, seq: e.seq}
 }
 
-// cancel marks a queued event dead; Run discards it without firing it or
-// advancing the clock to its timestamp.
-func (ev *event) cancel() { ev.fn = nil }
+// cancel discards a queued event: heap entries are removed in place (no
+// tombstone lingers to be sifted through later), run-queue entries are
+// blanked and reclaimed when their turn comes. Cancelling an event that has
+// already fired — or whose slot was recycled — is a no-op.
+func (e *Engine) cancel(t timer) {
+	if t.idx < 0 || int(t.idx) >= len(e.pool) {
+		return
+	}
+	ev := &e.pool[t.idx]
+	if ev.seq != t.seq {
+		return
+	}
+	if ev.heapIdx >= 0 {
+		e.heapRemove(int(ev.heapIdx))
+		e.release(t.idx)
+		return
+	}
+	if ev.heapIdx == heapRunq {
+		ev.fn = nil
+		ev.proc = nil
+	}
+}
 
 // After runs fn after the given delay.
 func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
@@ -171,15 +277,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // returns the final simulation time.
 func (e *Engine) Run() Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.fn == nil { // cancelled
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-	}
+	e.deadline = Forever
+	e.driveMain()
 	return e.now
 }
 
@@ -187,33 +286,233 @@ func (e *Engine) Run() Time {
 // clock to the deadline (if the simulation did not already pass it).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.fn == nil { // cancelled
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-	}
+	e.deadline = deadline
+	e.driveMain()
 	if e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
 }
 
+// driveMain is the Run caller's drive loop. It fires callbacks inline; when
+// an event resumes a process it hands that goroutine the control token and
+// parks until a driver — whichever process goroutine holds control when the
+// phase ends — wakes it back up.
+func (e *Engine) driveMain() {
+	for {
+		if e.fatal != nil {
+			pp := e.fatal
+			e.fatal = nil
+			panic(pp)
+		}
+		if e.stopped {
+			return
+		}
+		idx, ok := e.popNext()
+		if !ok {
+			return
+		}
+		fn, proc := e.take(idx)
+		if proc != nil {
+			proc.handoff <- struct{}{}
+			<-e.mainWake
+			continue
+		}
+		fn()
+	}
+}
+
+// popNext removes and returns the earliest pending event within the phase
+// deadline. The earliest event is the (at, seq) minimum of the heap top and
+// the run-queue head; both structures order their own contents, so choosing
+// between them is one comparison.
+func (e *Engine) popNext() (int32, bool) {
+	for {
+		var idx int32
+		if e.runqHead < len(e.runq) {
+			idx = e.runq[e.runqHead]
+			if len(e.heap) > 0 && e.eventLess(e.heap[0], idx) {
+				if e.pool[e.heap[0]].at > e.deadline {
+					return 0, false
+				}
+				idx = e.heapPop()
+			} else {
+				if e.pool[idx].at > e.deadline {
+					return 0, false
+				}
+				e.runqHead++
+				if e.runqHead == len(e.runq) {
+					e.runq = e.runq[:0]
+					e.runqHead = 0
+				}
+			}
+		} else if len(e.heap) > 0 {
+			if e.pool[e.heap[0]].at > e.deadline {
+				return 0, false
+			}
+			idx = e.heapPop()
+		} else {
+			return 0, false
+		}
+
+		ev := &e.pool[idx]
+		if ev.fn == nil && ev.proc == nil { // cancelled in the run queue
+			e.release(idx)
+			continue
+		}
+		return idx, true
+	}
+}
+
+// take consumes a popped event: advances the clock, counts the firing,
+// recycles the pool slot and returns the action to perform.
+func (e *Engine) take(idx int32) (fn func(), proc *Proc) {
+	ev := &e.pool[idx]
+	e.now = ev.at
+	e.fired++
+	fn, proc = ev.fn, ev.proc
+	e.release(idx)
+	return fn, proc
+}
+
+// exitDrive continues the event loop on a process goroutine whose function
+// has returned (or panicked). The goroutine drives until control belongs
+// somewhere else — another process, or the Run caller when the phase is over
+// or a fatal panic is pending — and then exits.
+func (e *Engine) exitDrive() {
+	for {
+		if e.fatal != nil || e.stopped || e.shuttingDown {
+			e.mainWake <- struct{}{}
+			return
+		}
+		idx, ok := e.popNext()
+		if !ok {
+			e.mainWake <- struct{}{}
+			return
+		}
+		fn, proc := e.take(idx)
+		if proc != nil {
+			proc.handoff <- struct{}{}
+			return
+		}
+		fn()
+	}
+}
+
+// eventLess orders pool entries by (at, seq) — the simulation's total event
+// order.
+func (e *Engine) eventLess(a, b int32) bool {
+	ea, eb := &e.pool[a], &e.pool[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// heapPush inserts a pool index into the 4-ary heap.
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.heapUp(len(e.heap) - 1)
+}
+
+// heapPop removes and returns the minimum entry.
+func (e *Engine) heapPop() int32 {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.heap[0] = last
+		e.pool[last].heapIdx = 0
+		e.heapDown(0)
+	}
+	e.pool[top].heapIdx = heapNone
+	return top
+}
+
+// heapRemove deletes the entry at heap position i (cancellation).
+func (e *Engine) heapRemove(i int) {
+	h := e.heap
+	n := len(h) - 1
+	removed := h[i]
+	last := h[n]
+	e.heap = h[:n]
+	if i < n {
+		e.heap[i] = last
+		e.pool[last].heapIdx = int32(i)
+		e.heapUp(e.heapDown(i))
+	}
+	e.pool[removed].heapIdx = heapNone
+}
+
+// heapUp sifts the entry at position i toward the root.
+func (e *Engine) heapUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.eventLess(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		e.pool[h[i]].heapIdx = int32(i)
+		i = parent
+	}
+	h[i] = idx
+	e.pool[idx].heapIdx = int32(i)
+}
+
+// heapDown sifts the entry at position i toward the leaves and returns its
+// final position.
+func (e *Engine) heapDown(i int) int {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.eventLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.eventLess(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		e.pool[h[i]].heapIdx = int32(i)
+		i = best
+	}
+	h[i] = idx
+	e.pool[idx].heapIdx = int32(i)
+	return i
+}
+
 // Shutdown unwinds every still-blocked process goroutine. Call it after the
 // final Run of a simulation so perpetual server processes do not leak
 // goroutines; the engine must not be used afterwards.
 func (e *Engine) Shutdown() {
+	e.shuttingDown = true
 	for _, p := range e.all {
 		if !p.done {
 			p.killed = true
 			p.waiting = false
-			p.step()
+			// Resume the parked goroutine so it unwinds; its exit path sees
+			// shuttingDown and signals back instead of driving the queue.
+			p.handoff <- struct{}{}
+			<-e.mainWake
 		}
 	}
 	e.all = nil
+	e.shuttingDown = false
 }
 
 // SetTracer installs a legacy string trace sink; nil disables tracing.

@@ -8,11 +8,19 @@ import "fmt"
 // event callback) concurrently, so process code may touch shared simulation
 // state without locks.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	yield  chan struct{}
-	done   bool
+	eng  *Engine
+	name string
+
+	// handoff is the process's single control channel: receiving on it
+	// means "your wake event just fired — you are the active goroutine,
+	// continue". A blocked process does not yield to a central engine
+	// goroutine; it drives the event loop itself (see block), so the
+	// old resume/yield channel pair collapses to one channel and a
+	// cross-process switch costs a single token send instead of a
+	// yield-plus-resume.
+	handoff chan struct{}
+
+	done bool
 
 	// waiting is true while the process is parked on a condition; the
 	// synchronization primitives in this package wake it via unpark.
@@ -50,34 +58,37 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 // SpawnAt is like Spawn but the process begins at the given absolute time.
 func (e *Engine) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		eng:     e,
+		name:    name,
+		handoff: make(chan struct{}),
 	}
 	e.procs++
 	e.all = append(e.all, p)
 	go func() {
-		<-p.resume
+		<-p.handoff
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killedError); !ok {
-					// Surface the panic in engine context: step() re-raises
-					// it from whoever called Run, so a handler bug fails
-					// the test instead of killing the process.
+					// Surface the panic in the Run caller: exitDrive hands
+					// control back and driveMain re-raises, so a handler
+					// bug fails the test instead of killing the process.
 					e.fatal = &procPanic{proc: p.name, value: r}
 				}
 			}
 			p.done = true
 			e.procs--
-			p.yield <- struct{}{}
+			// This goroutine still holds the control token: keep the event
+			// loop moving until control belongs elsewhere, then exit.
+			e.exitDrive()
 		}()
 		if p.killed {
 			panic(killedError{})
 		}
 		fn(p)
 	}()
-	e.Schedule(at, p.step)
+	// The wake event carries the proc itself rather than a closure, so
+	// spawning (and every later sleep/unpark) costs no per-event allocation.
+	e.schedule(at, nil, p)
 	return p
 }
 
@@ -91,23 +102,38 @@ func (pp *procPanic) Error() string {
 	return fmt.Sprintf("sim: proc %q panicked: %v", pp.proc, pp.value)
 }
 
-// step transfers control from the engine to the process goroutine and waits
-// for it to block or finish. It runs in engine context.
-func (p *Proc) step() {
-	p.resume <- struct{}{}
-	<-p.yield
-	if p.eng.fatal != nil {
-		pp := p.eng.fatal
-		p.eng.fatal = nil
-		panic(pp)
-	}
-}
-
-// block hands control back to the engine and parks until rescheduled. It
-// must be called from the process goroutine.
+// block parks the process until its next wake event fires. Rather than
+// yielding to a central engine goroutine, the blocking process drives the
+// event loop itself: if the next event is its own wake-up — the dominant
+// case — it simply continues, with no channel operation or goroutine switch
+// at all. If the next event resumes another process, the token is handed
+// straight to it (one send); and when the phase ends the Run caller is woken
+// instead. It must be called from the process goroutine.
 func (p *Proc) block() {
-	p.yield <- struct{}{}
-	<-p.resume
+	e := p.eng
+	for {
+		if e.fatal != nil || e.stopped {
+			e.mainWake <- struct{}{}
+			<-p.handoff
+			break
+		}
+		idx, ok := e.popNext()
+		if !ok {
+			e.mainWake <- struct{}{}
+			<-p.handoff
+			break
+		}
+		fn, proc := e.take(idx)
+		if proc == p {
+			break
+		}
+		if proc != nil {
+			proc.handoff <- struct{}{}
+			<-p.handoff
+			break
+		}
+		fn()
+	}
 	if p.killed {
 		panic(killedError{})
 	}
@@ -119,7 +145,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v in %s", d, p.name))
 	}
-	p.eng.Schedule(p.eng.now+d, p.step)
+	p.eng.schedule(p.eng.now+d, nil, p)
 	p.block()
 }
 
@@ -129,7 +155,7 @@ func (p *Proc) SleepUntil(at Time) {
 	if at < p.eng.now {
 		panic(fmt.Sprintf("sim: SleepUntil into the past (%v < %v) in %s", at, p.eng.now, p.name))
 	}
-	p.eng.Schedule(at, p.step)
+	p.eng.schedule(at, nil, p)
 	p.block()
 }
 
@@ -147,7 +173,7 @@ func (p *Proc) unpark() {
 		panic("sim: unpark of non-waiting proc " + p.name)
 	}
 	p.waiting = false
-	p.eng.Schedule(p.eng.now, p.step)
+	p.eng.schedule(p.eng.now, nil, p)
 }
 
 // unparkIfWaiting is unpark for conditions whose waiters re-check in a loop:

@@ -16,18 +16,21 @@ type Sampler struct {
 func StartSampler(eng *Engine, interval Time, fn func() float64) *Sampler {
 	s := &Sampler{}
 	s.proc = eng.Spawn("sampler", func(p *Proc) {
+		// Bind the wake callback once: a per-interval method value would be
+		// one allocation per tick.
+		wake := p.unparkIfWaiting
 		for !s.stop {
 			// An interruptible sleep: Stop unparks the process immediately
 			// instead of letting it doze through one more interval, and the
 			// pending timer is cancelled so it cannot hold the event queue
 			// open or advance the clock past the run's end.
 			deadline := p.Now() + interval
-			timer := eng.schedule(deadline, p.unparkIfWaiting)
+			timer := eng.schedule(deadline, wake, nil)
 			for !s.stop && p.Now() < deadline {
 				p.park()
 			}
 			if s.stop {
-				timer.cancel()
+				eng.cancel(timer)
 				return
 			}
 			s.X = append(s.X, p.Now().Seconds())

@@ -3,8 +3,14 @@ package sim
 // Queue is an unbounded FIFO of values passed between processes. Get blocks
 // the calling process until an item is available; Put never blocks and may
 // be called from engine context.
+//
+// Items and waiters dequeue by head index rather than re-slicing, so a
+// steady produce/consume cycle reuses the backing arrays instead of
+// creeping through them and reallocating.
 type Queue[T any] struct {
-	items   []T
+	items []T
+	head  int
+
 	waiters []*Proc
 }
 
@@ -12,14 +18,14 @@ type Queue[T any] struct {
 func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Put appends v and wakes the oldest waiter, if any.
 func (q *Queue[T]) Put(v T) {
 	q.items = append(q.items, v)
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+		q.waiters = dequeue(q.waiters)
 		w.unpark()
 	}
 }
@@ -27,27 +33,47 @@ func (q *Queue[T]) Put(v T) {
 // Get removes and returns the head item, blocking p while the queue is
 // empty. Waiters are served FIFO.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		q.waiters = append(q.waiters, p)
 		p.park()
 	}
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v
+	return q.pop()
 }
 
 // TryGet removes the head item without blocking; ok is false if empty.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
+	return q.pop(), true
+}
+
+// pop removes the head item, recycling the backing array once drained and
+// compacting when the consumed prefix dominates it.
+func (q *Queue[T]) pop() T {
+	v := q.items[q.head]
 	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	q.items[q.head] = zero
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head > 32 && q.head > len(q.items)/2:
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
+}
+
+// dequeue removes the head of a waiter list in place: the lists are short,
+// so a copy-down beats re-slicing the backing array into churn.
+func dequeue(ws []*Proc) []*Proc {
+	n := copy(ws, ws[1:])
+	ws[n] = nil
+	return ws[:n]
 }
 
 // Semaphore is a counting semaphore used for credits and buffer pools.
@@ -77,7 +103,7 @@ func (s *Semaphore) AcquireN(p *Proc, n int) {
 	for s.waiters[0] != p || s.count < n {
 		p.park()
 	}
-	s.waiters = s.waiters[1:]
+	s.waiters = dequeue(s.waiters)
 	s.count -= n
 	s.wake()
 }

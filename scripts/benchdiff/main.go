@@ -1,0 +1,169 @@
+// Command benchdiff compares `go test -bench` output against the checked-in
+// engine baseline (BENCH_engine.json at the repo root), benchstat-style.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sim/ ./internal/cache/ | \
+//	    go run ./scripts/benchdiff -baseline BENCH_engine.json
+//
+//	go run ./scripts/benchdiff -baseline BENCH_engine.json -update bench.txt
+//
+// Two regression gates, chosen per context:
+//
+//   - allocs/op is compared exactly and always gated: the engine's pooled
+//     hot paths promise zero steady-state allocations, and that promise is
+//     deterministic, so CI can enforce it even on noisy shared runners.
+//   - ns/op is gated only when -threshold is positive (e.g. 0.25 allows a
+//     25% slowdown). Wall-clock on CI runners is noisy, so CI passes
+//     -allocs-only and the timing table is informational there; run the
+//     timing gate locally before updating the baseline.
+//
+// Exit status is 1 when any gate fails, so the CI job fails on drift.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Note       string           `json:"note"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// benchLine matches one result row of `go test -bench -benchmem` output.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string]entry, error) {
+	got := make(map[string]entry)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		var allocs int64
+		if m[3] != "" {
+			allocs, err = strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %v", sc.Text(), err)
+			}
+		}
+		got[m[1]] = entry{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	return got, sc.Err()
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_engine.json", "baseline file to compare against")
+	threshold := flag.Float64("threshold", 0, "fail if ns/op regresses by more than this fraction (0 disables the timing gate)")
+	allocsOnly := flag.Bool("allocs-only", false, "gate only on allocs/op (timing table is informational)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in input")
+		os.Exit(1)
+	}
+
+	if *update {
+		b := baseline{
+			Note:       "Engine microbenchmark baseline; regenerate with: go test -run '^$' -bench . -benchmem ./internal/sim/ ./internal/cache/ | go run ./scripts/benchdiff -update",
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*basePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *basePath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad baseline %s: %v\n", *basePath, err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-28s %12s %12s %8s %14s\n", "benchmark", "base ns/op", "ns/op", "delta", "allocs (b→c)")
+	for _, name := range names {
+		cur := got[name]
+		b, known := base.Benchmarks[name]
+		if !known {
+			fmt.Printf("%-28s %12s %12.1f %8s %11s %d\n", name, "-", cur.NsPerOp, "new", "-", cur.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (cur.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		mark := ""
+		if cur.AllocsPerOp > b.AllocsPerOp {
+			mark = "  ALLOC REGRESSION"
+			failed = true
+		}
+		if !*allocsOnly && *threshold > 0 && delta > *threshold {
+			mark += "  TIME REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s %12.1f %12.1f %+7.1f%% %8d → %-3d%s\n",
+			name, b.NsPerOp, cur.NsPerOp, delta*100, b.AllocsPerOp, cur.AllocsPerOp, mark)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := got[name]; !ok {
+			fmt.Printf("%-28s missing from input (baseline has it)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: regression against", *basePath)
+		os.Exit(1)
+	}
+}
