@@ -11,6 +11,13 @@
 //	activesim -run fig15 -scale 1    # full 128-node reduction sweep
 //	activesim -run fig3 -metrics-out m.json -trace-out t.json
 //	activesim -run fig3 -cpuprofile prof/cpu.pb.gz -memprofile prof/mem.pb.gz
+//	activesim -run fig3 -faults plan.json -fault-seed 7
+//	activesim -run all -strict-routes
+//
+// -faults arms the JSON fault plan (see RELIABILITY.md) on every simulated
+// cluster; -fault-seed overrides the plan's PRNG seed. -strict-routes turns
+// the first unroutable packet into a panic naming the switch and
+// destination, instead of the default fault/no_route_drops accounting.
 //
 // With -run all the registry fans out over -parallel worker goroutines
 // (default: the CPU count); results always print in registry order, so the
@@ -31,12 +38,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 
 	"activesan"
-	"activesan/internal/prof"
+	"activesan/internal/cliflags"
+	"activesan/internal/san"
 )
 
 func main() {
@@ -49,42 +56,22 @@ func main() {
 	jsonPath := flag.String("json", "", "write all results as JSON to this file")
 	mdPath := flag.String("md", "", "write a markdown report of all results to this file")
 	trace := flag.String("trace", "", "write a simulation event trace to this file (plain text)")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file")
-	traceLimit := flag.Int("tracelimit", 200000, "maximum trace lines/events")
-	metricsOut := flag.String("metrics-out", "", "write every run's secondary-metric snapshot as JSON to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	strictRoutes := flag.Bool("strict-routes", false,
+		"panic on the first unroutable packet instead of counting a fault/no_route_drop")
+	cf := cliflags.Register()
 	flag.Parse()
 
-	defer prof.Start(*cpuProfile, *memProfile)()
-
-	if *trace != "" && *traceOut != "" {
+	if *trace != "" && cf.TraceOut != "" {
 		fmt.Fprintln(os.Stderr, "activesim: -trace and -trace-out share the trace hook; pick one")
 		os.Exit(2)
 	}
-	if *traceOut != "" {
-		if dir := filepath.Dir(*traceOut); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		// The writer locks internally, so -parallel engines share it.
-		w := activesan.NewChromeTraceWriter(f, int64(*traceLimit))
-		activesan.SetTraceSink(w.Sink())
-		defer func() {
-			if err := w.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			} else {
-				fmt.Printf("wrote %s (%d events)\n", *traceOut, w.Events())
-			}
-		}()
+	cleanup, err := cf.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "activesim:", err)
+		os.Exit(2)
 	}
+	defer cleanup()
+	san.SetStrictRoutes(*strictRoutes)
 
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -104,7 +91,7 @@ func main() {
 		activesan.SetTracer(func(t activesan.Time, msg string) {
 			mu.Lock()
 			defer mu.Unlock()
-			if lines >= *traceLimit {
+			if lines >= cf.TraceLimit {
 				return
 			}
 			lines++
@@ -162,17 +149,7 @@ func main() {
 	}
 	if *mdPath != "" {
 		md := activesan.MarkdownReport("Active I/O Switches — experiment report", *scale, collected)
-		if dir := filepath.Dir(*mdPath); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *mdPath)
+		writeOut(*mdPath, []byte(md))
 	}
 	if *jsonPath != "" {
 		data, err := activesan.ResultJSON(collected)
@@ -180,34 +157,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if dir := filepath.Dir(*jsonPath); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+		writeOut(*jsonPath, data)
 	}
-	if *metricsOut != "" {
+	if cf.MetricsOut != "" {
 		data, err := activesan.MetricsJSON(collected)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if dir := filepath.Dir(*metricsOut); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *metricsOut)
+		writeOut(cf.MetricsOut, data)
 	}
+}
+
+// writeOut writes one output artifact, creating its directory.
+func writeOut(path string, data []byte) {
+	if err := cliflags.EnsureParent(path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -19,6 +19,10 @@
 //
 // -cpuprofile/-memprofile write pprof profiles of the sweep itself (see
 // PERFORMANCE.md for the profiling workflow).
+//
+// -faults arms a JSON fault plan (see RELIABILITY.md) on every simulated
+// cluster, with -fault-seed overriding the plan's PRNG seed — the knobs for
+// sweeping reliability parameters instead of problem sizes.
 package main
 
 import (
@@ -26,7 +30,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -38,9 +41,8 @@ import (
 	"activesan/internal/apps/psort"
 	"activesan/internal/apps/reduce"
 	"activesan/internal/apps/twolevel"
+	"activesan/internal/cliflags"
 	"activesan/internal/metrics"
-	"activesan/internal/prof"
-	"activesan/internal/sim"
 	"activesan/internal/stats"
 )
 
@@ -74,11 +76,9 @@ func writeSweepMetrics(path string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := cliflags.EnsureParent(path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -151,44 +151,22 @@ func main() {
 	records := flag.Int64("records", 1<<18, "total records for -sweep sort")
 	rounds := flag.Int("rounds", 0, "with -sweep reduce: pipeline this many back-to-back rounds")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for sweep points (1 = sequential)")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON trace to this file")
-	traceLimit := flag.Int("tracelimit", 200000, "maximum trace events for -trace-out")
-	metricsOut := flag.String("metrics-out", "", "write each sweep point's secondary-metric snapshot as JSON to this file")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	cf := cliflags.Register()
 	flag.Parse()
 
-	defer prof.Start(*cpuProfile, *memProfile)()
-
-	if *traceOut != "" {
-		if dir := filepath.Dir(*traceOut); dir != "." {
-			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		// The writer locks internally, so -parallel engines share it.
-		w := metrics.NewChromeTraceWriter(f, int64(*traceLimit))
-		sim.SetDefaultTraceSink(w.Sink())
-		defer func() {
-			if err := w.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			} else {
-				fmt.Printf("wrote %s (%d events)\n", *traceOut, w.Events())
-			}
-		}()
+	cleanup, err := cf.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sansweep:", err)
+		os.Exit(2)
 	}
-	if *metricsOut != "" {
+	defer cleanup()
+
+	if cf.MetricsOut != "" {
 		sweepMetrics = make(map[string]*metrics.Snapshot)
 		// Deferred so the early-returning reduce pipeline path writes too
 		// (reduce sweeps build bare engines without stats.Run snapshots, so
 		// their file is legitimately empty).
-		defer writeSweepMetrics(*metricsOut)
+		defer writeSweepMetrics(cf.MetricsOut)
 	}
 
 	switch *sweep {

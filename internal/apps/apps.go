@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"activesan/internal/cluster"
+	"activesan/internal/fault"
 	"activesan/internal/host"
 	"activesan/internal/metrics"
 	"activesan/internal/san"
@@ -245,10 +246,29 @@ func RunIOScoped(ccfg cluster.IOClusterConfig, cfg Config,
 	setup func(c *cluster.Cluster),
 	app func(p *sim.Proc, c *cluster.Cluster) map[string]any,
 	hostIdx []int) stats.Run {
+	run, _ := RunIOWith(ccfg, cfg, nil, 0, setup, app, hostIdx)
+	return run
+}
+
+// RunIOWith is RunIOScoped with fault injection: plan (when non-nil) is
+// armed on the cluster between setup and Start, with seed overriding the
+// plan's own; a nil plan falls back to the process-wide default installed by
+// the CLI's -faults flag. The returned injector is nil on a fault-free run.
+func RunIOWith(ccfg cluster.IOClusterConfig, cfg Config,
+	plan *fault.Plan, seed uint64,
+	setup func(c *cluster.Cluster),
+	app func(p *sim.Proc, c *cluster.Cluster) map[string]any,
+	hostIdx []int) (stats.Run, *fault.Injector) {
 	eng := sim.NewEngine()
 	c := cluster.NewIOCluster(eng, ccfg)
 	if setup != nil {
 		setup(c)
+	}
+	var inj *fault.Injector
+	if plan != nil {
+		inj = fault.Arm(c, plan, seed)
+	} else {
+		inj = fault.ArmDefault(c)
 	}
 	c.Start()
 	tl := metrics.StartTimelines(c, metrics.DefaultTimelineInterval)
@@ -276,5 +296,5 @@ func RunIOScoped(ccfg cluster.IOClusterConfig, cfg Config,
 		}
 	}
 	c.Shutdown()
-	return run
+	return run, inj
 }

@@ -19,6 +19,7 @@ import (
 	"activesan/internal/aswitch"
 	"activesan/internal/cache"
 	"activesan/internal/cluster"
+	"activesan/internal/fault"
 	"activesan/internal/iodev"
 	"activesan/internal/san"
 	"activesan/internal/sim"
@@ -243,6 +244,17 @@ type handlerArgs struct {
 
 // Run executes one configuration.
 func Run(cfg apps.Config, prm Params) stats.Run {
+	run, _ := RunFaulted(cfg, prm, nil, 0)
+	return run
+}
+
+// RunFaulted is Run with a fault plan armed on the cluster (nil plan: the
+// process-wide default, if any). The active configurations gain the
+// handler-crash fallback: when the switch's crash notice arrives mid-stream,
+// the host abandons the offloaded pipeline and transparently re-runs the
+// whole program locally — the workload still completes, with the slowdown
+// visible in the run's time and a "fallback" marker in Extra.
+func RunFaulted(cfg apps.Config, prm Params, plan *fault.Plan, seed uint64) (stats.Run, *fault.Injector) {
 	stream := BuildStream(prm)
 	ccfg := cluster.DefaultIOClusterConfig()
 
@@ -305,19 +317,51 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 		h := c.Host(0)
 		store := c.Store(0).ID()
 		sw := c.Switch(0)
-		sum := fnv.New64a()
-		var iBytes int64
 
-		color := func(frame []byte, base int64) {
-			// Color reduction: decode + re-encode each I-frame on the host.
-			h.CPU().TouchRange(p, base, int64(len(frame)), cache.Load)
-			h.CPU().Compute(p, prm.HostColorInstr*int64(len(frame)))
-			h.CPU().TouchRange(p, outAddr+0x100000, int64(len(frame)), cache.Store)
-			sum.Write(frame)
-			iBytes += int64(len(frame))
+		// runNormal is the complete host-local program: filter and
+		// color-reduce on the host. It is both the normal configurations'
+		// body and the crash fallback the active configurations re-run when
+		// the switch's handler plane dies mid-stream.
+		runNormal := func() map[string]any {
+			sum := fnv.New64a()
+			var iBytes int64
+			buf := h.Space().Alloc(prm.ChunkSize, 4096)
+			color := func(frame []byte) {
+				// Color reduction: decode + re-encode each I-frame.
+				h.CPU().TouchRange(p, buf, int64(len(frame)), cache.Load)
+				h.CPU().Compute(p, prm.HostColorInstr*int64(len(frame)))
+				h.CPU().TouchRange(p, outAddr+0x100000, int64(len(frame)), cache.Store)
+				sum.Write(frame)
+				iBytes += int64(len(frame))
+			}
+			f := &filter{Out: color}
+			apps.StreamChunks(p, h, store, "video", prm.FileSize, prm.ChunkSize, buf,
+				cfg.Outstanding(), func(off, n int64, payloads []any) {
+					h.CPU().TouchRange(p, buf, n, cache.Load)
+					h.CPU().Compute(p, prm.HostFilterInstr*n)
+					for _, pl := range payloads {
+						if bts, ok := pl.([]byte); ok {
+							f.Feed(bts)
+						}
+					}
+				})
+			return map[string]any{
+				"iBytes":   iBytes,
+				"reported": f.IBytes,
+				"checksum": fmt.Sprintf("%x", sum.Sum64()),
+			}
 		}
 
 		if cfg.IsActive() {
+			sum := fnv.New64a()
+			var iBytes int64
+			color := func(frame []byte, base int64) {
+				h.CPU().TouchRange(p, base, int64(len(frame)), cache.Load)
+				h.CPU().Compute(p, prm.HostColorInstr*int64(len(frame)))
+				h.CPU().TouchRange(p, outAddr+0x100000, int64(len(frame)), cache.Store)
+				sum.Write(frame)
+				iBytes += int64(len(frame))
+			}
 			h.SendMessage(p, &san.Message{
 				Hdr:     san.Header{Dst: sw.ID(), Type: san.ActiveMsg, HandlerID: handlerID, Addr: argBase},
 				Size:    64,
@@ -341,6 +385,7 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 				issue()
 			}
 			var reported int64 = -1
+			crashed := false
 			asm := &messageAssembler{}
 			// pollCredits issues new requests the moment the switch's
 			// per-chunk replies arrive — the balanced-pipeline discipline:
@@ -353,9 +398,15 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 					issue()
 				}
 			}
-			for reported < 0 {
+			for reported < 0 && !crashed {
 				pollCredits()
 				comp := h.RecvAny(p)
+				if len(comp.Payloads) == 1 {
+					if _, isCrash := comp.Payloads[0].(aswitch.CrashNotice); isCrash {
+						crashed = true
+						continue
+					}
+				}
 				switch {
 				case comp.Hdr.Src == store:
 					// Storage notification — unused here; credits pace us.
@@ -374,6 +425,15 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 					reported = comp.Payloads[0].(int64)
 				}
 			}
+			if crashed {
+				// Handler-crash fallback: the offloaded pipeline is gone, so
+				// re-run the whole program locally. Partial switch output is
+				// discarded — the local pass recomputes everything, which
+				// keeps the result identical at the cost of the redone work.
+				out := runNormal()
+				out["fallback"] = true
+				return out
+			}
 			return map[string]any{
 				"iBytes":   iBytes,
 				"reported": reported,
@@ -381,27 +441,11 @@ func Run(cfg apps.Config, prm Params) stats.Run {
 			}
 		}
 
-		// Normal: filter and color-reduce on the host.
-		buf := h.Space().Alloc(prm.ChunkSize, 4096)
-		f := &filter{Out: func(frame []byte) { color(frame, buf) }}
-		apps.StreamChunks(p, h, store, "video", prm.FileSize, prm.ChunkSize, buf,
-			cfg.Outstanding(), func(off, n int64, payloads []any) {
-				h.CPU().TouchRange(p, buf, n, cache.Load)
-				h.CPU().Compute(p, prm.HostFilterInstr*n)
-				for _, pl := range payloads {
-					if bts, ok := pl.([]byte); ok {
-						f.Feed(bts)
-					}
-				}
-			})
-		return map[string]any{
-			"iBytes":   iBytes,
-			"reported": f.IBytes,
-			"checksum": fmt.Sprintf("%x", sum.Sum64()),
-		}
+		return runNormal()
 	}
 
-	return apps.RunIO(ccfg, cfg, setup, app)
+	run, inj := apps.RunIOWith(ccfg, cfg, plan, seed, setup, app, nil)
+	return run, inj
 }
 
 // messageAssembler re-parses frame boundaries out of the concatenated

@@ -93,6 +93,31 @@ type Stats struct {
 	Unregistered    int64
 }
 
+// CrashStats counts the active plane's failure events (all zero unless a
+// fault plan crashes the switch).
+type CrashStats struct {
+	Crashes  int64
+	Restarts int64
+	// Aborted counts handler invocations killed mid-run by a crash.
+	Aborted int64
+	// Rejected counts invocations refused at dispatch while crashed.
+	Rejected int64
+	// DataDropped counts stream packets discarded while crashed.
+	DataDropped int64
+}
+
+// CrashNotice is the Control payload the switch sends to an invoker when a
+// crash kills (or refuses) its handler, so the host can fall back to the
+// non-active program.
+type CrashNotice struct {
+	Handler int
+	Flow    int64 // the invoking message's flow
+}
+
+// crashAbort is the panic sentinel Ctx methods raise when the handler's
+// switch has crashed; the CPU loop recovers it and cleans up.
+type crashAbort struct{ handler int }
+
 // HandlerStats counts one jump-table entry's activity.
 type HandlerStats struct {
 	Invocations  int64
@@ -124,6 +149,8 @@ type ActiveSwitch struct {
 	rr         int
 	flows      int64
 	stats      Stats
+	crashed    bool
+	crash      CrashStats
 	perHandler [san.MaxHandlerID + 1]HandlerStats
 }
 
@@ -186,6 +213,59 @@ func (s *ActiveSwitch) DBA() *DBA { return s.dba }
 
 // ActiveStats returns a copy of the activity counters.
 func (s *ActiveSwitch) ActiveStats() Stats { return s.stats }
+
+// CrashStatsCopy returns a copy of the failure counters.
+func (s *ActiveSwitch) CrashStatsCopy() CrashStats { return s.crash }
+
+// Crashed reports whether the active plane is down.
+func (s *ActiveSwitch) Crashed() bool { return s.crashed }
+
+// Crash kills the active plane: running handlers abort at their next Ctx
+// call, queued invocations are refused with a CrashNotice, and arriving
+// stream data is discarded. The base switch keeps routing — exactly the
+// paper's non-active degradation.
+func (s *ActiveSwitch) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.crash.Crashes++
+	if s.eng.Tracing() {
+		s.eng.Emit("fault", "handler_crash", s.Name(), "active plane down")
+	}
+	// Wake handlers blocked on stream data so they observe the crash.
+	s.mapSig.Fire()
+}
+
+// Restart brings the active plane back up. Stream state from before the
+// crash is gone (the DBA and ATBs were scrubbed), so invokers must restart
+// their messages from scratch.
+func (s *ActiveSwitch) Restart() {
+	if !s.crashed {
+		return
+	}
+	s.crashed = false
+	s.crash.Restarts++
+	if s.eng.Tracing() {
+		s.eng.Emit("fault", "handler_restart", s.Name(), "active plane up")
+	}
+	s.mapSig.Fire()
+}
+
+// notifyCrash tells an invoker its handler died, via a best-effort Control
+// packet through the still-working base switch.
+func (s *ActiveSwitch) notifyCrash(p *sim.Proc, dst san.NodeID, handler int, flow int64) {
+	pkt := &san.Packet{
+		Hdr: san.Header{
+			Src: s.ID(), Dst: dst, Type: san.Control,
+			Flow: s.NextFlow(), Last: true,
+		},
+		Size:    16,
+		Payload: CrashNotice{Handler: handler, Flow: flow},
+	}
+	// An unroutable invoker means nobody to notify; drop the notice.
+	_ = s.Inject(p, pkt)
+}
 
 // HandlerStatsFor returns the per-handler counters for a jump-table entry.
 func (s *ActiveSwitch) HandlerStatsFor(id int) HandlerStats {
@@ -253,6 +333,18 @@ func (s *ActiveSwitch) NextFlow() int64 {
 // the paper relies on.
 func (s *ActiveSwitch) Deliver(p *sim.Proc, pkt *san.Packet, fillRate float64) {
 	p.Sleep(s.cfg.DispatchLatency)
+	if s.crashed {
+		// The active plane is down: refuse invocations (telling the invoker
+		// why) and discard stream data. The input port returns the credit as
+		// usual, so the fabric stays live around the dead handler plane.
+		if pkt.Hdr.Type == san.ActiveMsg && pkt.Hdr.Seq == 0 {
+			s.crash.Rejected++
+			s.notifyCrash(p, pkt.Hdr.Src, pkt.Hdr.HandlerID, pkt.Hdr.Flow)
+		} else if pkt.Size > 0 {
+			s.crash.DataDropped++
+		}
+		return
+	}
 	cpuID := pkt.Hdr.CPUID
 	if cpuID < 0 {
 		if pkt.Hdr.Type == san.ActiveMsg && pkt.Hdr.Seq == 0 {
@@ -269,6 +361,13 @@ func (s *ActiveSwitch) Deliver(p *sim.Proc, pkt *san.Packet, fillRate float64) {
 
 	if pkt.Size > 0 {
 		buf := s.dba.AllocInput(p)
+		if s.crashed {
+			// The crash landed while we blocked for a buffer: give it back
+			// and discard, or the scrubbed DBA would leak this slot.
+			s.dba.Free(buf)
+			s.crash.DataDropped++
+			return
+		}
 		buf.addr = pkt.Hdr.Addr
 		buf.size = pkt.Size
 		buf.fillStart = p.Now()
@@ -278,6 +377,11 @@ func (s *ActiveSwitch) Deliver(p *sim.Proc, pkt *san.Packet, fillRate float64) {
 		buf.payload = pkt.Payload
 		for !c.atb.CanInstall(buf) {
 			s.mapSig.Wait(p)
+			if s.crashed {
+				s.dba.Free(buf)
+				s.crash.DataDropped++
+				return
+			}
 		}
 		c.atb.Install(buf)
 		c.arrivals = append(c.arrivals, buf)
@@ -350,6 +454,12 @@ const invokeCycles = 16
 func (c *SwitchCPU) loop(p *sim.Proc) {
 	for {
 		inv := c.invq.Get(p)
+		if c.sw.crashed {
+			// Queued before the crash landed: refuse it like dispatch would.
+			c.sw.crash.Rejected++
+			c.sw.notifyCrash(p, inv.Src, inv.HandlerID, inv.Flow)
+			continue
+		}
 		entry := c.sw.jump[inv.HandlerID]
 		if entry == nil {
 			c.sw.stats.Unregistered++
@@ -363,13 +473,51 @@ func (c *SwitchCPU) loop(p *sim.Proc) {
 		}
 		start := p.Now()
 		c.cpu.Compute(p, invokeCycles)
-		entry.fn(&Ctx{p: p, sw: c.sw, c: c, inv: inv})
+		if crashed := c.runInvocation(p, entry, inv); crashed {
+			c.cleanupCrash(p, inv)
+			continue
+		}
 		c.cpu.Flush(p)
 		if eng.Tracing() {
 			eng.Emit("handler", "retire", c.sw.Name(),
 				fmt.Sprintf("cpu%d retire %q after %v", c.id, entry.name, p.Now()-start))
 		}
 	}
+}
+
+// runInvocation executes the handler, converting a crashAbort panic — raised
+// by Ctx methods when the switch crashes mid-run — into a flag. Any other
+// panic keeps propagating: handler bugs must stay loud.
+func (c *SwitchCPU) runInvocation(p *sim.Proc, entry *handlerEntry, inv *Invocation) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashAbort); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	entry.fn(&Ctx{p: p, sw: c.sw, c: c, inv: inv})
+	return false
+}
+
+// cleanupCrash scrubs the CPU's stream state after an aborted handler: every
+// mapped buffer is released back to the DBA, the arrival list is emptied,
+// and the invoker learns its stream died.
+func (c *SwitchCPU) cleanupCrash(p *sim.Proc, inv *Invocation) {
+	c.sw.crash.Aborted++
+	for _, buf := range c.atb.ReleaseBelow(1 << 62) {
+		c.sw.dba.Free(buf)
+	}
+	c.arrivals = c.arrivals[:0]
+	c.sw.mapSig.Fire()
+	c.cpu.Flush(p)
+	if c.sw.eng.Tracing() {
+		c.sw.eng.Emit("fault", "handler_abort", c.sw.Name(),
+			fmt.Sprintf("cpu%d handler=%d aborted by crash", c.id, inv.HandlerID))
+	}
+	c.sw.notifyCrash(p, inv.Src, inv.HandlerID, inv.Flow)
 }
 
 // pruneArrivals drops consumed/freed buffers from the head of the arrival

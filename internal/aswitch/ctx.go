@@ -29,6 +29,16 @@ type Ctx struct {
 	inv *Invocation
 }
 
+// checkCrash aborts the handler when its switch crashed while the handler
+// was blocked or between operations. The abort is cooperative: it fires at
+// the Ctx seams (stream waits, reads, sends), which is where a real run-time
+// kernel would deliver the kill.
+func (x *Ctx) checkCrash() {
+	if x.sw.crashed {
+		panic(crashAbort{handler: x.inv.HandlerID})
+	}
+}
+
 // Now returns the current simulated time.
 func (x *Ctx) Now() sim.Time { return x.p.Now() }
 
@@ -83,6 +93,7 @@ func (x *Ctx) waitValid(t sim.Time) {
 	if t > x.p.Now() {
 		x.p.SleepUntil(t)
 	}
+	x.checkCrash()
 }
 
 // WaitStream blocks until a data buffer mapped at addr exists and returns
@@ -91,6 +102,7 @@ func (x *Ctx) waitValid(t sim.Time) {
 func (x *Ctx) WaitStream(addr int64) *DataBuffer {
 	x.c.cpu.Flush(x.p)
 	for {
+		x.checkCrash()
 		if b, ok := x.c.atb.Lookup(addr); ok {
 			return b
 		}
@@ -105,6 +117,7 @@ func (x *Ctx) WaitStream(addr int64) *DataBuffer {
 func (x *Ctx) NextArrival() *DataBuffer {
 	x.c.cpu.Flush(x.p)
 	for {
+		x.checkCrash()
 		x.c.pruneArrivals()
 		for _, b := range x.c.arrivals {
 			if b.live && !b.consumed {
@@ -200,6 +213,7 @@ type SendSpec struct {
 // output-buffer and central-queue availability (backpressure), which is
 // idle time, not busy time.
 func (x *Ctx) Send(spec SendSpec) {
+	x.checkCrash()
 	hdr := san.Header{
 		Src:       x.sw.ID(),
 		Dst:       spec.Dst,

@@ -1,0 +1,104 @@
+// Package cliflags is the flag wiring shared by cmd/activesim and
+// cmd/sansweep: output paths (metrics, traces, pprof profiles) and the
+// fault-injection plan. Both commands declare the same flags with the same
+// semantics; this package keeps them from drifting and gives their values
+// one validated Setup path with helpful errors instead of two copies of the
+// boilerplate.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"activesan/internal/fault"
+	"activesan/internal/metrics"
+	"activesan/internal/prof"
+	"activesan/internal/sim"
+)
+
+// Common holds the flag values shared by the commands.
+type Common struct {
+	TraceOut   string
+	TraceLimit int
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+	Faults     string
+	FaultSeed  uint64
+}
+
+// Register declares the shared flags on the default flag set. Call before
+// flag.Parse.
+func Register() *Common {
+	c := &Common{}
+	flag.StringVar(&c.TraceOut, "trace-out", "",
+		"write a Chrome trace-event / Perfetto JSON trace to this file")
+	flag.IntVar(&c.TraceLimit, "tracelimit", 200000, "maximum trace lines/events")
+	flag.StringVar(&c.MetricsOut, "metrics-out", "",
+		"write secondary-metric snapshots as JSON to this file")
+	flag.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	flag.StringVar(&c.Faults, "faults", "",
+		"arm the fault plan in this JSON file on every simulated cluster (see RELIABILITY.md)")
+	flag.Uint64Var(&c.FaultSeed, "fault-seed", 0, "override the fault plan's PRNG seed (requires -faults)")
+	return c
+}
+
+// Setup validates the parsed values and installs their process-wide effects:
+// the default fault plan, profiling, and the Chrome trace sink. The returned
+// cleanup (never nil) flushes the trace file and stops the profilers; defer
+// it from main. Errors name the flag at fault.
+func (c *Common) Setup() (cleanup func(), err error) {
+	noop := func() {}
+	if c.FaultSeed != 0 && c.Faults == "" {
+		return noop, fmt.Errorf("-fault-seed has no effect without -faults")
+	}
+	if c.Faults != "" {
+		plan, err := fault.Load(c.Faults)
+		if err != nil {
+			return noop, fmt.Errorf("-faults: %w", err)
+		}
+		fault.SetDefault(plan, c.FaultSeed)
+	}
+	if c.MetricsOut != "" {
+		// Fail on an unwritable directory now, not after the simulation.
+		if err := EnsureParent(c.MetricsOut); err != nil {
+			return noop, fmt.Errorf("-metrics-out: %w", err)
+		}
+	}
+	stopProf := prof.Start(c.CPUProfile, c.MemProfile)
+	if c.TraceOut == "" {
+		return stopProf, nil
+	}
+	if err := EnsureParent(c.TraceOut); err != nil {
+		stopProf()
+		return noop, fmt.Errorf("-trace-out: %w", err)
+	}
+	f, err := os.Create(c.TraceOut)
+	if err != nil {
+		stopProf()
+		return noop, fmt.Errorf("-trace-out: %w", err)
+	}
+	// The writer locks internally, so -parallel engines share it.
+	w := metrics.NewChromeTraceWriter(f, int64(c.TraceLimit))
+	sim.SetDefaultTraceSink(w.Sink())
+	out := c.TraceOut
+	return func() {
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		} else {
+			fmt.Printf("wrote %s (%d events)\n", out, w.Events())
+		}
+		stopProf()
+	}, nil
+}
+
+// EnsureParent creates the directory a file path will be written into.
+func EnsureParent(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		return os.MkdirAll(dir, 0o755)
+	}
+	return nil
+}

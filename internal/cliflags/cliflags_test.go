@@ -1,0 +1,85 @@
+package cliflags
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"activesan/internal/fault"
+)
+
+func TestSetupRejectsSeedWithoutPlan(t *testing.T) {
+	c := &Common{FaultSeed: 42}
+	cleanup, err := c.Setup()
+	if err == nil || !strings.Contains(err.Error(), "-faults") {
+		t.Fatalf("err = %v, want a -fault-seed/-faults complaint", err)
+	}
+	cleanup()
+}
+
+func TestSetupLoadsFaultPlan(t *testing.T) {
+	defer fault.SetDefault(nil, 0)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 3, "links": [{"drop": 0.01}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &Common{Faults: path, FaultSeed: 9}
+	cleanup, err := c.Setup()
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	defer cleanup()
+	plan, seed := fault.Default()
+	if plan == nil || plan.Seed != 3 || seed != 9 {
+		t.Fatalf("default plan = %+v seed %d, want seed 3 with override 9", plan, seed)
+	}
+}
+
+func TestSetupRejectsInvalidPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	os.WriteFile(path, []byte(`{"links": [{"drop": 1.5}]}`), 0o644)
+	c := &Common{Faults: path}
+	cleanup, err := c.Setup()
+	if err == nil || !strings.Contains(err.Error(), "drop=1.5") {
+		t.Fatalf("err = %v, want the out-of-range probability named", err)
+	}
+	cleanup()
+
+	c = &Common{Faults: filepath.Join(dir, "absent.json")}
+	cleanup, err = c.Setup()
+	if err == nil {
+		t.Fatal("missing plan file accepted")
+	}
+	cleanup()
+}
+
+func TestEnsureParent(t *testing.T) {
+	dir := t.TempDir()
+	nested := filepath.Join(dir, "a", "b", "out.json")
+	if err := EnsureParent(nested); err != nil {
+		t.Fatalf("EnsureParent: %v", err)
+	}
+	if st, err := os.Stat(filepath.Dir(nested)); err != nil || !st.IsDir() {
+		t.Fatalf("parent not created: %v", err)
+	}
+	// A bare filename needs no directory and must not error.
+	if err := EnsureParent("out.json"); err != nil {
+		t.Fatalf("EnsureParent on bare name: %v", err)
+	}
+}
+
+func TestSetupMetricsOutCreatesParent(t *testing.T) {
+	dir := t.TempDir()
+	c := &Common{MetricsOut: filepath.Join(dir, "sub", "metrics.json")}
+	cleanup, err := c.Setup()
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	defer cleanup()
+	if st, err := os.Stat(filepath.Join(dir, "sub")); err != nil || !st.IsDir() {
+		t.Fatalf("metrics parent not created: %v", err)
+	}
+}

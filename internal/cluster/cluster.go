@@ -32,6 +32,15 @@ type Cluster struct {
 	// single-switch clusters).
 	Tree *TreeInfo
 
+	// ExtraMetrics, when set, contributes additional top-level values to the
+	// metrics snapshot (the fault injector registers its counters here; the
+	// indirection keeps lower layers from importing internal/fault). Its
+	// presence also gates all fault/retry metric emission.
+	ExtraMetrics func(add func(name string, v float64))
+	// FaultCounts reports cumulative (injected, recovered) fault counts for
+	// timeline sampling; nil when no fault plan is armed.
+	FaultCounts func() (injected, recovered int64)
+
 	started bool
 }
 

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"activesan/internal/apps/faultsweep"
 	"activesan/internal/apps/grep"
 	"activesan/internal/apps/hashjoin"
 	"activesan/internal/apps/md5app"
@@ -175,6 +176,19 @@ var Registry = []Experiment{
 				prm.TableBytes = 4 << 20
 			}
 			return twolevel.RunAll(prm)
+		},
+	},
+	{
+		ID:    "faultsweep",
+		Paper: "Extension (reliability)",
+		Title: "MPEG filter under injected link loss, plus handler-crash fallback",
+		Run: func(scale int64) *stats.Result {
+			prm := mpeg.DefaultParams()
+			prm.FileSize /= clampScale(scale)
+			if prm.FileSize < 128*1024 {
+				prm.FileSize = 128 * 1024
+			}
+			return faultsweep.RunAll(prm)
 		},
 	},
 }
@@ -352,6 +366,13 @@ func Shapes(res *stats.Result) []string {
 		if host.Traffic > 0 {
 			add("two-level host traffic %.4f%% of host-only (extension: not in the paper)",
 				100*float64(two.Traffic)/float64(host.Traffic))
+		}
+	case "faultsweep":
+		for _, s := range res.Series {
+			if s.Name == "goodput_mbps" && len(s.Y) > 1 && s.Y[0] > 0 {
+				add("goodput at %.1f%% loss is %.1f%% of fault-free (extension: not in the paper)",
+					s.X[len(s.X)-1], 100*s.Y[len(s.Y)-1]/s.Y[0])
+			}
 		}
 	case "fig17":
 		add("active 1-cpu speedup %.2f (paper: <1, a slowdown)", res.Speedup("active-1cpu"))

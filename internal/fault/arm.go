@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"activesan/internal/aswitch"
+	"activesan/internal/cluster"
+	"activesan/internal/san"
+	"activesan/internal/sim"
+)
+
+// Arm wires a validated plan into a cluster. Call after the topology is
+// built and before cluster.Start. seed, when non-zero, overrides the plan's
+// own seed (the CLI's -fault-seed). Arm panics on plan references that
+// don't resolve against this cluster (unknown link substrings, switch or
+// port indexes out of range) — a fault plan that silently does nothing is
+// worse than a crash.
+//
+// Arming installs the injector on every switch-port link — even links no
+// rule matches — because clean passes on any link are how the injector
+// observes recoveries. It also installs the cluster's ExtraMetrics and
+// FaultCounts hooks, whose presence switches on all fault/retry metric and
+// timeline emission.
+func Arm(c *cluster.Cluster, p *Plan, seed uint64) *Injector {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("fault: invalid plan: %v", err))
+	}
+	if seed == 0 {
+		seed = p.Seed
+	}
+	in := newInjector(seed)
+
+	links := clusterLinks(c)
+	for _, l := range links {
+		in.rules[l] = compileRule(p, l.Name())
+		l.SetInjector(in)
+	}
+
+	for _, d := range c.Stores {
+		for i := range p.Disks {
+			r := &p.Disks[i]
+			if r.Match != "" && !strings.Contains(d.Name(), r.Match) {
+				continue
+			}
+			in.disks[d.Name()] = r
+			d.SetDiskFaults(in, sim.Time(r.RetryNS)*sim.Nanosecond)
+			break
+		}
+	}
+
+	scheduleEvents(c, p, in, links)
+
+	if p.needsRetx() {
+		cfg := p.retxConfig()
+		endpoints := map[san.NodeID]bool{}
+		for _, h := range c.Hosts {
+			endpoints[h.ID()] = true
+		}
+		for _, d := range c.Stores {
+			endpoints[d.ID()] = true
+		}
+		in.protocol = endpoints
+		trackable := func(id san.NodeID) bool { return endpoints[id] }
+		for _, h := range c.Hosts {
+			tx := h.NIC().EnableReliability(cfg)
+			tx.SetResolve(in.resolveFlow)
+			h.NIC().SetRelFilter(trackable)
+		}
+		for _, d := range c.Stores {
+			tx := d.EnableReliability(cfg)
+			tx.SetResolve(in.resolveFlow)
+			d.SetRelFilter(trackable)
+		}
+	}
+
+	c.ExtraMetrics = in.addMetrics
+	c.FaultCounts = func() (injected, recovered int64) {
+		return in.counts.Injected, in.counts.Recovered
+	}
+	return in
+}
+
+// clusterLinks collects every distinct link in the cluster. Switch ports
+// cover them all (host and store uplinks are switch-port links), but a
+// switch-to-switch trunk appears as two ports' views of the same *Link, so
+// deduplicate by pointer.
+func clusterLinks(c *cluster.Cluster) []*san.Link {
+	seen := map[*san.Link]bool{}
+	var links []*san.Link
+	for _, sw := range c.Switches {
+		for i := 0; i < sw.Config().Ports; i++ {
+			port := sw.Port(i)
+			for _, l := range []*san.Link{port.In, port.Out} {
+				if l != nil && !seen[l] {
+					seen[l] = true
+					links = append(links, l)
+				}
+			}
+		}
+	}
+	return links
+}
+
+// scheduleEvents places the plan's discrete events on the engine.
+func scheduleEvents(c *cluster.Cluster, p *Plan, in *Injector, links []*san.Link) {
+	for i, e := range p.Events {
+		e := e
+		at := sim.Time(e.AtNS) * sim.Nanosecond
+		switch e.Kind {
+		case LinkDown, LinkUp:
+			var targets []*san.Link
+			for _, l := range links {
+				if strings.Contains(l.Name(), e.Link) {
+					targets = append(targets, l)
+				}
+			}
+			if len(targets) == 0 {
+				panic(fmt.Sprintf("fault: events[%d]: no link matches %q", i, e.Link))
+			}
+			down := e.Kind == LinkDown
+			c.Eng.Schedule(at, func() {
+				for _, l := range targets {
+					l.SetDown(down)
+					in.counts.LinkEvents++
+				}
+			})
+		case PortDown, PortUp:
+			sw := eventSwitch(c, i, e)
+			if e.Port < 0 || e.Port >= sw.Config().Ports {
+				panic(fmt.Sprintf("fault: events[%d]: switch %d has no port %d", i, e.Switch, e.Port))
+			}
+			port := sw.Port(e.Port)
+			down := e.Kind == PortDown
+			c.Eng.Schedule(at, func() {
+				for _, l := range []*san.Link{port.In, port.Out} {
+					if l != nil {
+						l.SetDown(down)
+						in.counts.LinkEvents++
+					}
+				}
+			})
+		case HandlerCrash:
+			sw := eventSwitch(c, i, e)
+			c.Eng.Schedule(at, func() {
+				// A crash is injected and tolerated in the same breath: the
+				// recovery (host-side fallback or restart) re-does the work
+				// rather than re-delivering anything.
+				in.counts.Injected++
+				in.counts.Crashes++
+				in.counts.Tolerated++
+				sw.Crash()
+			})
+		case HandlerRestart:
+			sw := eventSwitch(c, i, e)
+			c.Eng.Schedule(at, func() { sw.Restart() })
+		}
+	}
+}
+
+func eventSwitch(c *cluster.Cluster, i int, e Event) *aswitch.ActiveSwitch {
+	if e.Switch < 0 || e.Switch >= len(c.Switches) {
+		panic(fmt.Sprintf("fault: events[%d]: switch index %d out of range (cluster has %d)",
+			i, e.Switch, len(c.Switches)))
+	}
+	return c.Switches[e.Switch]
+}
+
+// defaultPlan is the CLI-wide plan installed by -faults; experiments arm it
+// on every cluster they build unless handed an explicit plan.
+var (
+	defMu   sync.Mutex
+	defPlan *Plan
+	defSeed uint64
+)
+
+// SetDefault installs (or, with nil, clears) the process-wide default plan.
+func SetDefault(p *Plan, seed uint64) {
+	defMu.Lock()
+	defer defMu.Unlock()
+	defPlan, defSeed = p, seed
+}
+
+// Default returns the process-wide default plan and seed override.
+func Default() (*Plan, uint64) {
+	defMu.Lock()
+	defer defMu.Unlock()
+	return defPlan, defSeed
+}
+
+// ArmDefault arms the process-wide default plan on a cluster, returning nil
+// when none is installed. Experiment runners call it between topology
+// construction and cluster.Start.
+func ArmDefault(c *cluster.Cluster) *Injector {
+	p, seed := Default()
+	if p == nil {
+		return nil
+	}
+	return Arm(c, p, seed)
+}

@@ -160,7 +160,20 @@ type Stats struct {
 	Seeks, Sequential int64
 	// FilteredBytes counts bytes a pushdown filter removed at the source.
 	FilteredBytes int64
+	// DiskRetries counts media errors recovered by re-reading (only fault
+	// injection produces them).
+	DiskRetries int64
 }
+
+// DiskInjector decides whether a disk operation fails and must be retried.
+// Implementations must be deterministic (seeded PRNG only).
+type DiskInjector interface {
+	OnDiskOp(node, file string, off, n int64) bool
+}
+
+// maxDiskAttempts bounds injected-media-error retries per operation so an
+// always-fail plan degrades a run instead of hanging it.
+const maxDiskAttempts = 64
 
 // StorageNode is a TCA plus its SCSI bus and disk stripe.
 type StorageNode struct {
@@ -188,6 +201,13 @@ type StorageNode struct {
 
 	// writes tracks expected write streams by flow id.
 	writes map[int64]*writeState
+
+	// Optional fault injection and reliability (nil unless armed).
+	dinj   DiskInjector
+	dretry sim.Time
+	tx     *san.TxTracker
+	rel    *san.RxTracker
+	rtxq   *sim.Queue[*san.Packet]
 
 	stats   Stats
 	started bool
@@ -270,6 +290,56 @@ func (s *StorageNode) AddFile(f *File) {
 	s.files[f.Name] = f
 }
 
+// SetDiskFaults arms media-error injection: when inj votes to fail an
+// operation the disk pays retry (default: a seek + rotation re-read) and
+// tries again. Must run before Start.
+func (s *StorageNode) SetDiskFaults(inj DiskInjector, retry sim.Time) {
+	if s.started {
+		panic("iodev: SetDiskFaults after Start")
+	}
+	if retry <= 0 {
+		retry = s.cfg.Disk.Seek + s.cfg.Disk.Rotation
+	}
+	s.dinj = inj
+	s.dretry = retry
+}
+
+// EnableReliability arms end-to-end retransmission on the TCA, mirroring
+// nic.NIC.EnableReliability. Must run before Start.
+func (s *StorageNode) EnableReliability(cfg san.RetxConfig) *san.TxTracker {
+	if s.started {
+		panic("iodev: EnableReliability after Start")
+	}
+	if s.tx != nil {
+		return s.tx
+	}
+	s.rtxq = sim.NewQueue[*san.Packet]()
+	enqueue := func(pkt *san.Packet) { s.rtxq.Put(pkt) }
+	s.tx = san.NewTxTracker(s.eng, cfg, enqueue)
+	s.rel = san.NewRxTracker(s.id, enqueue)
+	return s.tx
+}
+
+// ReliabilityEnabled reports whether EnableReliability ran.
+func (s *StorageNode) ReliabilityEnabled() bool { return s.tx != nil }
+
+// SetRelFilter restricts both reliability trackers to peers that speak the
+// protocol, mirroring nic.NIC.SetRelFilter.
+func (s *StorageNode) SetRelFilter(fn func(san.NodeID) bool) {
+	if s.tx != nil {
+		s.tx.SetTrackable(fn)
+		s.rel.SetTrackable(fn)
+	}
+}
+
+// RelStats returns the reliability counters (zero when disabled).
+func (s *StorageNode) RelStats() (san.TxStats, san.RxStats) {
+	if s.tx == nil {
+		return san.TxStats{}, san.RxStats{}
+	}
+	return s.tx.Stats(), s.rel.Stats()
+}
+
 // Start spawns the TCA receive process and the disk service process.
 func (s *StorageNode) Start() {
 	if s.started {
@@ -278,28 +348,75 @@ func (s *StorageNode) Start() {
 	s.started = true
 	s.eng.Spawn(s.name+".tca", s.rxLoop)
 	s.eng.Spawn(s.name+".disk", s.diskLoop)
+	if s.tx != nil {
+		s.eng.Spawn(s.name+".rtx", s.rtxLoop)
+	}
 }
 
 // rxLoop accepts request packets and write data.
 func (s *StorageNode) rxLoop(p *sim.Proc) {
 	for {
 		pkt := s.in.Recv(p)
-		switch pkt.Hdr.Type {
-		case san.IORequest:
-			// Register writes immediately so their data — possibly right
-			// behind the request — is never dropped; reads queue for the
-			// disk process.
-			if w, isW := pkt.Payload.(WriteReq); isW {
-				s.writes[pkt.Hdr.Flow] = &writeState{req: w, src: pkt.Hdr.Src}
+		if s.rel != nil {
+			if pkt.Hdr.Type == san.Ack {
+				switch info := pkt.Payload.(type) {
+				case san.AckInfo:
+					s.tx.OnAck(pkt.Hdr.Src, info)
+				case san.NakInfo:
+					s.tx.OnNak(pkt.Hdr.Src, info)
+				}
 			} else {
-				s.reqs.Put(queuedReq{pkt: pkt, at: p.Now()})
+				for _, q := range s.rel.Observe(pkt) {
+					s.accept(p, q)
+				}
 			}
-		case san.Data:
-			s.absorbWrite(p, pkt)
-		default:
-			// Control and stray packets are ignored.
+			s.in.ReturnCredit()
+			continue
 		}
+		if pkt.Corrupt {
+			// Without the reliability layer a corrupt packet stops at the
+			// TCA's CRC check.
+			s.in.ReturnCredit()
+			continue
+		}
+		s.accept(p, pkt)
 		s.in.ReturnCredit()
+	}
+}
+
+// accept runs the normal receive path for one validated, in-order packet.
+func (s *StorageNode) accept(p *sim.Proc, pkt *san.Packet) {
+	switch pkt.Hdr.Type {
+	case san.IORequest:
+		// Register writes immediately so their data — possibly right
+		// behind the request — is never dropped; reads queue for the
+		// disk process.
+		if w, isW := pkt.Payload.(WriteReq); isW {
+			s.writes[pkt.Hdr.Flow] = &writeState{req: w, src: pkt.Hdr.Src}
+		} else {
+			s.reqs.Put(queuedReq{pkt: pkt, at: p.Now()})
+		}
+	case san.Data:
+		s.absorbWrite(p, pkt)
+	default:
+		// Control and stray packets are ignored.
+	}
+}
+
+// rtxLoop drains retransmissions and ACK/NAK control packets onto the link.
+func (s *StorageNode) rtxLoop(p *sim.Proc) {
+	for {
+		pkt := s.rtxq.Get(p)
+		s.out.Send(p, pkt)
+	}
+}
+
+// sendTracked puts pkt on the wire and records it for retransmission when
+// reliability is armed.
+func (s *StorageNode) sendTracked(p *sim.Proc, pkt *san.Packet) {
+	s.out.Send(p, pkt)
+	if s.tx != nil {
+		s.tx.Record(pkt)
 	}
 }
 
@@ -328,7 +445,7 @@ func (s *StorageNode) absorbWrite(p *sim.Proc, pkt *san.Packet) {
 			// the final byte.
 			req := w.req
 			s.eng.SpawnAt(durable, s.name+".ack", func(ap *sim.Proc) {
-				s.out.Send(ap, &san.Packet{Hdr: san.Header{
+				s.sendTracked(ap, &san.Packet{Hdr: san.Header{
 					Src: s.id, Dst: req.Notify, Type: san.Control,
 					Flow: req.NotifyFlow, Last: true,
 				}})
@@ -398,6 +515,15 @@ func (s *StorageNode) serveRead(p *sim.Proc, req ReadReq, arrived sim.Time) {
 	} else {
 		s.stats.Sequential++
 	}
+	if s.dinj != nil {
+		// Injected media errors: each failed attempt costs a re-read
+		// penalty before the transfer can begin. The attempt cap only
+		// bounds a pathological always-fail plan.
+		for attempt := 0; attempt < maxDiskAttempts && s.dinj.OnDiskOp(s.name, req.File, req.Off, req.Len); attempt++ {
+			s.stats.DiskRetries++
+			first += s.dretry
+		}
+	}
 	s.diskFreeAt = first + sim.TransferTime(req.Len, s.cfg.Disk.BandwidthBytesPerSec)
 	s.lastFile = req.File
 	s.lastEnd = req.Off + req.Len
@@ -456,10 +582,10 @@ func (s *StorageNode) serveRead(p *sim.Proc, req ReadReq, arrived sim.Time) {
 			p.SleepUntil(at)
 		}
 		s.bus.Use(p, sim.TransferTime(pkt.Size, s.cfg.Bus.BandwidthBytesPerSec))
-		s.out.Send(p, pkt)
+		s.sendTracked(p, pkt)
 	}
 	if req.Notify != san.NoNode && req.Notify != 0 {
-		s.out.Send(p, &san.Packet{Hdr: san.Header{
+		s.sendTracked(p, &san.Packet{Hdr: san.Header{
 			Src: s.id, Dst: req.Notify, Type: san.Control,
 			Flow: req.NotifyFlow, Last: true,
 		}})
@@ -501,16 +627,16 @@ func (s *StorageNode) serveFilteredRead(p *sim.Proc, req ReadReq, f *File, flt *
 		pkt.Hdr.Addr = hdr.Addr + kept
 		seq++
 		kept += keep
-		s.out.Send(p, pkt)
+		s.sendTracked(p, pkt)
 	}
 	// Trailer: total kept, Last set.
 	trailer := &san.Packet{Hdr: hdr, Size: 8, Payload: kept}
 	trailer.Hdr.Seq = seq
 	trailer.Hdr.Addr = hdr.Addr + kept
 	trailer.Hdr.Last = true
-	s.out.Send(p, trailer)
+	s.sendTracked(p, trailer)
 	if req.Notify != san.NoNode && req.Notify != 0 {
-		s.out.Send(p, &san.Packet{Hdr: san.Header{
+		s.sendTracked(p, &san.Packet{Hdr: san.Header{
 			Src: s.id, Dst: req.Notify, Type: san.Control,
 			Flow: req.NotifyFlow, Last: true,
 		}})

@@ -49,7 +49,81 @@ func Collect(c *cluster.Cluster, elapsed sim.Time) *Snapshot {
 	for _, sw := range c.Switches {
 		addSwitch(s, sw, elapsed)
 	}
+	// Fault and reliability metrics only exist when a fault plan is armed
+	// (an ExtraMetrics hook is installed), so zero-fault snapshots — and
+	// therefore the goldens — are byte-identical to the lossless model. The
+	// lone exception: unroutable-packet drops always surface, because a
+	// silent no-route drop is a configuration bug.
+	var noRoute int64
+	for _, sw := range c.Switches {
+		noRoute += sw.Stats().NoRouteDrops
+	}
+	armed := c.ExtraMetrics != nil
+	if armed || noRoute > 0 {
+		s.SetInt("fault/no_route_drops", noRoute)
+	}
+	if armed {
+		c.ExtraMetrics(func(name string, v float64) { s.Set(name, v) })
+		addReliability(s, c)
+	}
 	return s
+}
+
+// addReliability harvests the per-component fault and retransmission
+// counters. Only called with a fault plan armed.
+func addReliability(s *Snapshot, c *cluster.Cluster) {
+	for _, h := range c.Hosts {
+		tx, rx := h.NIC().RelStats()
+		addRetx(s, h.Name()+"/retry", tx, rx)
+	}
+	for _, d := range c.Stores {
+		tx, rx := d.RelStats()
+		addRetx(s, d.Name()+"/retry", tx, rx)
+		s.SetInt(d.Name()+"/disk/retries", d.Stats().DiskRetries)
+	}
+	for _, sw := range c.Switches {
+		name := sw.Name()
+		ss := sw.Stats()
+		s.SetInt(name+"/fault/no_route_drops", ss.NoRouteDrops)
+		s.SetInt(name+"/fault/rerouted", ss.Rerouted)
+		s.SetInt(name+"/fault/corrupt_drops", ss.CorruptDrops)
+		cs := sw.CrashStatsCopy()
+		s.SetInt(name+"/fault/crashes", cs.Crashes)
+		s.SetInt(name+"/fault/restarts", cs.Restarts)
+		s.SetInt(name+"/fault/aborted_handlers", cs.Aborted)
+		s.SetInt(name+"/fault/rejected_invocations", cs.Rejected)
+		s.SetInt(name+"/fault/data_dropped_while_crashed", cs.DataDropped)
+		for i := 0; i < sw.Config().Ports; i++ {
+			port := sw.Port(i)
+			if port.In != nil {
+				addLinkFaults(s, fmt.Sprintf("%s/port%d/in", name, i), port.In)
+			}
+			if port.Out != nil {
+				addLinkFaults(s, fmt.Sprintf("%s/port%d/out", name, i), port.Out)
+			}
+		}
+	}
+}
+
+func addRetx(s *Snapshot, prefix string, tx san.TxStats, rx san.RxStats) {
+	s.SetInt(prefix+"/tracked", tx.Tracked)
+	s.SetInt(prefix+"/retransmits", tx.Retransmits)
+	s.SetInt(prefix+"/timeout_retx", tx.TimeoutRetx)
+	s.SetInt(prefix+"/nak_retx", tx.NakRetx)
+	s.SetInt(prefix+"/acks_seen", tx.AcksSeen)
+	s.SetInt(prefix+"/abandoned", tx.Abandoned)
+	s.SetInt(prefix+"/delivered", rx.Delivered)
+	s.SetInt(prefix+"/duplicates", rx.Duplicates)
+	s.SetInt(prefix+"/acks_sent", rx.AcksSent)
+	s.SetInt(prefix+"/naks_sent", rx.NaksSent)
+	s.SetInt(prefix+"/corrupt_dropped", rx.CorruptDropped)
+}
+
+func addLinkFaults(s *Snapshot, prefix string, l *san.Link) {
+	ls := l.Stats()
+	s.SetInt(prefix+"/fault_dropped", ls.Dropped)
+	s.SetInt(prefix+"/fault_corrupted", ls.Corrupted)
+	s.SetInt(prefix+"/fault_delayed", ls.Delayed)
 }
 
 // addSwitch harvests the base switch, its ports, the active hardware, the

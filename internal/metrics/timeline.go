@@ -76,6 +76,19 @@ func StartTimelines(c *cluster.Cluster, interval sim.Time) *Timelines {
 		prevBytes = total
 		return float64(d) / interval.Seconds() / 1e6
 	})
+
+	// Fault timelines exist only when a fault plan is armed, so zero-fault
+	// snapshots keep exactly the three standard series.
+	if fc := c.FaultCounts; fc != nil {
+		t.start(c, "timeline/fault_injected", interval, func() float64 {
+			injected, _ := fc()
+			return float64(injected)
+		})
+		t.start(c, "timeline/retry_recovered", interval, func() float64 {
+			_, recovered := fc()
+			return float64(recovered)
+		})
+	}
 	return t
 }
 

@@ -69,6 +69,13 @@ type NIC struct {
 	comps    *sim.Queue[*Completion]
 	partials map[flowKey]*Completion
 
+	// Optional end-to-end reliability (nil unless EnableReliability ran):
+	// tx tracks outgoing packets for retransmission, rel orders and acks
+	// incoming ones, rtxq feeds the dedicated retransmit/control process.
+	tx   *san.TxTracker
+	rel  *san.RxTracker
+	rtxq *sim.Queue[*san.Packet]
+
 	// invalidate, when set, is called for every DMA write so the host's
 	// caches drop stale copies of the buffer (DMA coherence).
 	invalidate func(base, n int64)
@@ -109,6 +116,45 @@ func (n *NIC) NextFlow() int64 {
 	return n.flows<<16 | int64(n.id)&0xFFFF
 }
 
+// EnableReliability arms end-to-end retransmission on this adapter: outgoing
+// packets are tracked until acknowledged, incoming ones are reordered,
+// deduplicated, and acknowledged. Must run before Start. Returns the tx
+// tracker so callers can wire its resolve hook.
+func (n *NIC) EnableReliability(cfg san.RetxConfig) *san.TxTracker {
+	if n.started {
+		panic("nic: EnableReliability after Start")
+	}
+	if n.tx != nil {
+		return n.tx
+	}
+	n.rtxq = sim.NewQueue[*san.Packet]()
+	enqueue := func(pkt *san.Packet) { n.rtxq.Put(pkt) }
+	n.tx = san.NewTxTracker(n.eng, cfg, enqueue)
+	n.rel = san.NewRxTracker(n.id, enqueue)
+	return n.tx
+}
+
+// ReliabilityEnabled reports whether EnableReliability ran.
+func (n *NIC) ReliabilityEnabled() bool { return n.tx != nil }
+
+// SetRelFilter restricts both reliability trackers to peers that speak the
+// protocol (see san.TxTracker.SetTrackable); packets to and from other nodes
+// bypass tracking entirely. No-op when reliability is disabled.
+func (n *NIC) SetRelFilter(fn func(san.NodeID) bool) {
+	if n.tx != nil {
+		n.tx.SetTrackable(fn)
+		n.rel.SetTrackable(fn)
+	}
+}
+
+// RelStats returns the reliability counters (zero when disabled).
+func (n *NIC) RelStats() (san.TxStats, san.RxStats) {
+	if n.tx == nil {
+		return san.TxStats{}, san.RxStats{}
+	}
+	return n.tx.Stats(), n.rel.Stats()
+}
+
 // Start spawns the receive and transmit engines.
 func (n *NIC) Start() {
 	if n.started {
@@ -117,6 +163,9 @@ func (n *NIC) Start() {
 	n.started = true
 	n.eng.Spawn(n.name+".rx", n.rxLoop)
 	n.eng.Spawn(n.name+".tx", n.txLoop)
+	if n.tx != nil {
+		n.eng.Spawn(n.name+".rtx", n.rtxLoop)
+	}
 }
 
 // Post queues msg for transmission and returns a latch that opens once the
@@ -146,39 +195,81 @@ func (n *NIC) Pending() int { return n.comps.Len() }
 func (n *NIC) rxLoop(p *sim.Proc) {
 	for {
 		pkt := n.in.Recv(p)
-		// DMA the payload into host memory; the credit returns once the
-		// adapter has drained the packet off the link buffer.
-		if pkt.Size > 0 {
-			n.mem.Reserve(pkt.Hdr.Addr, pkt.Size)
-			if n.invalidate != nil {
-				n.invalidate(pkt.Hdr.Addr, pkt.Size)
+		if n.rel != nil {
+			switch {
+			case pkt.Hdr.Type == san.Ack:
+				switch info := pkt.Payload.(type) {
+				case san.AckInfo:
+					n.tx.OnAck(pkt.Hdr.Src, info)
+				case san.NakInfo:
+					n.tx.OnNak(pkt.Hdr.Src, info)
+				}
+			default:
+				for _, q := range n.rel.Observe(pkt) {
+					n.accept(p, q)
+				}
 			}
+			n.in.ReturnCredit()
+			continue
 		}
-		tail := n.in.TailTime(p.Now(), pkt.Size)
-		n.stats.PacketsIn++
-		n.stats.BytesIn += pkt.Size
-		key := flowKey{src: pkt.Hdr.Src, flow: pkt.Hdr.Flow}
-		c := n.partials[key]
-		if c == nil {
-			c = &Completion{FirstAt: p.Now()}
-			n.partials[key] = c
+		if pkt.Corrupt {
+			// Without the reliability layer a corrupt packet is simply
+			// lost at the adapter's CRC check.
+			n.in.ReturnCredit()
+			continue
 		}
-		c.Size += pkt.Size
-		if pkt.Payload != nil {
-			c.Payloads = append(c.Payloads, pkt.Payload)
-		}
-		if pkt.Hdr.Last {
-			c.Hdr = pkt.Hdr
-			c.DoneAt = tail
-			delete(n.partials, key)
-			n.stats.MessagesIn++
-			if n.eng.Tracing() {
-				n.eng.Emit("packet", "recv", n.name,
-					fmt.Sprintf("%s msg src=%d flow=%d size=%d", pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Flow, c.Size))
-			}
-			n.comps.Put(c)
-		}
+		n.accept(p, pkt)
 		n.in.ReturnCredit()
+	}
+}
+
+// accept runs the normal receive path for one validated, in-order packet.
+func (n *NIC) accept(p *sim.Proc, pkt *san.Packet) {
+	// DMA the payload into host memory; the credit returns once the
+	// adapter has drained the packet off the link buffer.
+	if pkt.Size > 0 {
+		n.mem.Reserve(pkt.Hdr.Addr, pkt.Size)
+		if n.invalidate != nil {
+			n.invalidate(pkt.Hdr.Addr, pkt.Size)
+		}
+	}
+	tail := n.in.TailTime(p.Now(), pkt.Size)
+	n.stats.PacketsIn++
+	n.stats.BytesIn += pkt.Size
+	key := flowKey{src: pkt.Hdr.Src, flow: pkt.Hdr.Flow}
+	c := n.partials[key]
+	if c == nil {
+		c = &Completion{FirstAt: p.Now()}
+		n.partials[key] = c
+	}
+	c.Size += pkt.Size
+	if pkt.Payload != nil {
+		c.Payloads = append(c.Payloads, pkt.Payload)
+	}
+	if pkt.Hdr.Last {
+		c.Hdr = pkt.Hdr
+		c.DoneAt = tail
+		delete(n.partials, key)
+		n.stats.MessagesIn++
+		if n.eng.Tracing() {
+			n.eng.Emit("packet", "recv", n.name,
+				fmt.Sprintf("%s msg src=%d flow=%d size=%d", pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Flow, c.Size))
+		}
+		n.comps.Put(c)
+	}
+}
+
+// rtxLoop drains retransmissions and ACK/NAK control packets onto the link;
+// a separate process so timer callbacks never block and retransmissions
+// interleave with fresh traffic rather than preempting it.
+func (n *NIC) rtxLoop(p *sim.Proc) {
+	for {
+		pkt := n.rtxq.Get(p)
+		n.out.Send(p, pkt)
+		// Retransmissions and acks are real wire traffic; keeping them in
+		// the counters keeps the host-I/O-traffic metric honest under loss.
+		n.stats.PacketsOut++
+		n.stats.BytesOut += pkt.Size
 	}
 }
 
@@ -192,6 +283,9 @@ func (n *NIC) txLoop(p *sim.Proc) {
 				n.mem.Reserve(job.local+off, pkt.Size)
 			}
 			n.out.Send(p, pkt)
+			if n.tx != nil {
+				n.tx.Record(pkt)
+			}
 			n.stats.PacketsOut++
 			n.stats.BytesOut += pkt.Size
 		}

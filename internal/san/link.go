@@ -34,6 +34,35 @@ func DefaultLinkConfig() LinkConfig {
 type LinkStats struct {
 	Packets int64
 	Bytes   int64 // payload bytes
+	// Fault-injection outcomes; all zero unless an injector is armed or the
+	// link was taken down.
+	Dropped   int64
+	Corrupted int64
+	Delayed   int64
+}
+
+// FaultVerdict is a link injector's decision for one packet.
+type FaultVerdict int
+
+// Verdicts.
+const (
+	// FaultPass delivers the packet normally (optionally delayed).
+	FaultPass FaultVerdict = iota
+	// FaultDrop loses the packet in flight; the link restores the consumed
+	// credit once the tail would have cleared the wire.
+	FaultDrop
+	// FaultCorrupt delivers a damaged copy; receivers discard it as a CRC
+	// failure.
+	FaultCorrupt
+)
+
+// LinkInjector decides the fate of each packet entering a link. The extra
+// delay applies to delivered packets (pass or corrupt). Implementations must
+// be deterministic — seeded PRNG or schedule only, never wall-clock. When
+// the link is down the link drops regardless of the verdict; an injector
+// that keeps loss accounting should check Down itself and vote FaultDrop.
+type LinkInjector interface {
+	OnTransmit(l *Link, pkt *Packet) (FaultVerdict, sim.Time)
 }
 
 // Link is one direction of a cable: packets are serialized at the sender,
@@ -49,6 +78,8 @@ type Link struct {
 	credits *sim.Semaphore
 	rx      *sim.Queue[*Packet]
 	stats   LinkStats
+	inj     LinkInjector
+	down    bool
 }
 
 // NewLink builds a link.
@@ -103,11 +134,7 @@ func (l *Link) Send(p *sim.Proc, pkt *Packet) {
 		l.traceSend(pkt)
 	}
 	l.credits.Acquire(p)
-	end := l.line.Reserve(sim.TransferTime(pkt.Wire(), l.cfg.BandwidthBytesPerSec))
-	headAt := end - sim.TransferTime(pkt.Size, l.cfg.BandwidthBytesPerSec) + l.cfg.Propagation
-	l.stats.Packets++
-	l.stats.Bytes += pkt.Size
-	l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
+	end := l.xmit(pkt)
 	p.SleepUntil(end)
 }
 
@@ -119,12 +146,72 @@ func (l *Link) SendAsync(p *sim.Proc, pkt *Packet) {
 		l.traceSend(pkt)
 	}
 	l.credits.Acquire(p)
-	end := l.line.Reserve(sim.TransferTime(pkt.Wire(), l.cfg.BandwidthBytesPerSec))
+	l.xmit(pkt)
+}
+
+// xmit serializes pkt on the line and schedules its delivery (or fate, under
+// fault injection), returning the serialization end time.
+func (l *Link) xmit(pkt *Packet) (end sim.Time) {
+	end = l.line.Reserve(sim.TransferTime(pkt.Wire(), l.cfg.BandwidthBytesPerSec))
 	headAt := end - sim.TransferTime(pkt.Size, l.cfg.BandwidthBytesPerSec) + l.cfg.Propagation
 	l.stats.Packets++
 	l.stats.Bytes += pkt.Size
-	l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
+	if l.inj == nil && !l.down {
+		l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
+		return end
+	}
+	l.faultXmit(pkt, headAt)
+	return end
 }
+
+// faultXmit is the slow delivery path, reached only when an injector is
+// armed or the link is down; the zero-fault fast path above never calls it.
+func (l *Link) faultXmit(pkt *Packet, headAt sim.Time) {
+	verdict, delay := FaultPass, sim.Time(0)
+	if l.inj != nil {
+		verdict, delay = l.inj.OnTransmit(l, pkt)
+	}
+	if l.down {
+		verdict = FaultDrop
+	}
+	switch verdict {
+	case FaultDrop:
+		l.stats.Dropped++
+		if l.eng.Tracing() {
+			l.eng.Emit("fault", "link_drop", l.name, fmt.Sprintf("%s pkt dst=%d flow=%d seq=%d",
+				pkt.Hdr.Type, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq))
+		}
+		// The receiver will never see this packet, so it can never return
+		// the credit; restore it when the tail would have cleared the wire
+		// (hardware: the link-level credit sync that follows a lost symbol)
+		// or flow control wedges forever.
+		l.eng.Schedule(l.TailTime(headAt, pkt.Size), func() { l.credits.Release() })
+		return
+	case FaultCorrupt:
+		l.stats.Corrupted++
+		cp := *pkt
+		cp.Corrupt = true
+		pkt = &cp
+	}
+	if delay > 0 {
+		l.stats.Delayed++
+	}
+	l.eng.Schedule(headAt+delay, func() { l.rx.Put(pkt) })
+}
+
+// SetInjector arms (or, with nil, disarms) fault injection on this link.
+func (l *Link) SetInjector(inj LinkInjector) { l.inj = inj }
+
+// SetDown marks the link down (every packet is lost) or back up. Credits
+// consumed by lost packets are restored on the usual schedule, so traffic
+// sent into a dead link drains rather than deadlocks.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// Up reports the opposite of Down, for route-selection call sites.
+func (l *Link) Up() bool { return !l.down }
 
 // Recv blocks until a packet's head arrives and returns it. The receiver
 // owns the packet's input-buffer credit and must call ReturnCredit once the

@@ -2,9 +2,19 @@ package san
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"activesan/internal/sim"
 )
+
+// strictRoutes, when set, turns the first unroutable-packet drop into a
+// panic so misrouted configurations fail fast instead of silently losing
+// traffic (activesim's -strict-routes flag). Atomic because parallel sweeps
+// run engines on several goroutines.
+var strictRoutes atomic.Bool
+
+// SetStrictRoutes toggles fail-fast behavior on unroutable packets.
+func SetStrictRoutes(v bool) { strictRoutes.Store(v) }
 
 // SwitchConfig sets the base switch parameters.
 type SwitchConfig struct {
@@ -49,7 +59,16 @@ type Port struct {
 type SwitchStats struct {
 	Routed  int64 // packets forwarded between ports
 	Local   int64 // packets consumed by the local sink
-	Dropped int64 // packets with no route (counted, then dropped)
+	Dropped int64 // packets dropped (no route, or local with no sink)
+	// NoRouteDrops is the subset of Dropped with no routing-table entry —
+	// a configuration bug unless a fault plan removed the route.
+	NoRouteDrops int64
+	// Rerouted counts packets sent via a backup route because the primary
+	// port's link was down.
+	Rerouted int64
+	// CorruptDrops counts corrupt arrivals discarded at the input CRC
+	// check (only fault injection produces corrupt packets).
+	CorruptDrops int64
 	// MaxQueueDepth is the deepest any output queue got; MinPoolFree is
 	// the central pool's low-water mark — the congestion signature of the
 	// central-output-queue design.
@@ -67,6 +86,7 @@ type Switch struct {
 	cfg    SwitchConfig
 	ports  []Port
 	routes map[NodeID]int
+	backup map[NodeID]int
 	pool   *sim.Semaphore
 	outQ   []*sim.Queue[*Packet]
 	local  LocalSink
@@ -88,6 +108,7 @@ func NewSwitch(eng *sim.Engine, id NodeID, name string, cfg SwitchConfig) *Switc
 		cfg:    cfg,
 		ports:  make([]Port, cfg.Ports),
 		routes: make(map[NodeID]int),
+		backup: make(map[NodeID]int),
 		pool:   sim.NewSemaphore(cfg.PoolPackets),
 		outQ:   make([]*sim.Queue[*Packet], cfg.Ports),
 	}
@@ -159,6 +180,58 @@ func (s *Switch) Route(dst NodeID) int {
 	return -1
 }
 
+// SetBackupRoute directs packets for dst out of port when the primary
+// route's link is down. Like SetRoute, backup routes are fixed before Start.
+func (s *Switch) SetBackupRoute(dst NodeID, port int) {
+	if s.started {
+		panic("san: SetBackupRoute after Start")
+	}
+	if port < 0 || port >= s.cfg.Ports {
+		panic(fmt.Sprintf("san: backup route to port %d of %d-port switch", port, s.cfg.Ports))
+	}
+	s.backup[dst] = port
+}
+
+// portUp reports whether port i can currently transmit: an unattached Out
+// link counts as up so local-sink-only ports keep working.
+func (s *Switch) portUp(i int) bool {
+	out := s.ports[i].Out
+	return out == nil || out.Up()
+}
+
+// pickRoute selects the output port for dst, falling back to the backup
+// route when the primary port's link is down. With both routes down it
+// returns the primary anyway — the packet is then lost on the dead link,
+// where loss accounting and retransmission live.
+func (s *Switch) pickRoute(dst NodeID) (port int, rerouted bool) {
+	p, ok := s.routes[dst]
+	if ok && s.portUp(p) {
+		return p, false
+	}
+	if b, okb := s.backup[dst]; okb && s.portUp(b) {
+		return b, ok // a reroute only if a primary existed and was down
+	}
+	if ok {
+		return p, false
+	}
+	return -1, false
+}
+
+// noteNoRoute accounts an unroutable packet and, under -strict-routes,
+// fails fast with enough context to find the missing table entry.
+func (s *Switch) noteNoRoute(pkt *Packet) {
+	s.stats.Dropped++
+	s.stats.NoRouteDrops++
+	if s.eng.Tracing() {
+		s.eng.Emit("fault", "no_route_drop", s.name,
+			fmt.Sprintf("%s pkt src=%d dst=%d flow=%d seq=%d", pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq))
+	}
+	if strictRoutes.Load() {
+		panic(fmt.Sprintf("san: %s has no route for %s packet src=%d dst=%d flow=%d seq=%d (-strict-routes)",
+			s.name, pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq))
+	}
+}
+
 // SetLocalSink installs the handler for packets addressed to the switch
 // itself (the active extension).
 func (s *Switch) SetLocalSink(sink LocalSink) {
@@ -200,6 +273,13 @@ func (s *Switch) inputLoop(p *sim.Proc, i int) {
 				fmt.Sprintf("in%d %s pkt src=%d dst=%d flow=%d seq=%d size=%d",
 					i, pkt.Hdr.Type, pkt.Hdr.Src, pkt.Hdr.Dst, pkt.Hdr.Flow, pkt.Hdr.Seq, pkt.Size))
 		}
+		if pkt.Corrupt {
+			// Link-level CRC check: damaged packets stop here and rely on
+			// end-to-end retransmission.
+			s.stats.CorruptDrops++
+			in.ReturnCredit()
+			continue
+		}
 		if pkt.Hdr.Dst == s.id {
 			s.stats.Local++
 			if s.local == nil {
@@ -211,11 +291,14 @@ func (s *Switch) inputLoop(p *sim.Proc, i int) {
 			in.ReturnCredit()
 			continue
 		}
-		out := s.Route(pkt.Hdr.Dst)
+		out, rerouted := s.pickRoute(pkt.Hdr.Dst)
 		if out < 0 {
-			s.stats.Dropped++
+			s.noteNoRoute(pkt)
 			in.ReturnCredit()
 			continue
+		}
+		if rerouted {
+			s.stats.Rerouted++
 		}
 		s.pool.Acquire(p)
 		s.stats.Routed++
@@ -249,9 +332,12 @@ func (s *Switch) outputLoop(p *sim.Proc, i int) {
 // switch's send unit uses this: the crossbar is logically (N+1)xN). It
 // blocks for a central-queue slot, then enqueues on the proper output.
 func (s *Switch) Inject(p *sim.Proc, pkt *Packet) error {
-	out := s.Route(pkt.Hdr.Dst)
+	out, rerouted := s.pickRoute(pkt.Hdr.Dst)
 	if out < 0 {
 		return fmt.Errorf("san: %s cannot route injected packet to node %d", s.name, pkt.Hdr.Dst)
+	}
+	if rerouted {
+		s.stats.Rerouted++
 	}
 	s.pool.Acquire(p)
 	s.stats.Routed++

@@ -99,6 +99,17 @@ type Result struct {
 	Notes []string
 }
 
+// GoodputMBps converts a run's end-to-end time into application goodput for
+// a workload that delivered payloadBytes of useful data — the reliability
+// sweeps' headline metric (retransmitted bytes are link traffic, not
+// goodput).
+func (r Run) GoodputMBps(payloadBytes int64) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(payloadBytes) / r.Time.Seconds() / 1e6
+}
+
 // Series is one line of a sweep figure.
 type Series struct {
 	Name string
