@@ -13,11 +13,19 @@
 //	activesim -run fig3 -cpuprofile prof/cpu.pb.gz -memprofile prof/mem.pb.gz
 //	activesim -run fig3 -faults plan.json -fault-seed 7
 //	activesim -run all -strict-routes
+//	activesim -run fig15 -topology fattree     # collectives on a k-ary fat tree
+//	activesim -run scalesweep                  # fat-tree scaling curves, 4..64 hosts
 //
 // -faults arms the JSON fault plan (see RELIABILITY.md) on every simulated
 // cluster; -fault-seed overrides the plan's PRNG seed. -strict-routes turns
 // the first unroutable packet into a panic naming the switch and
 // destination, instead of the default fault/no_route_drops accounting.
+//
+// -topology selects the cluster the collective experiments (table2,
+// fig15, fig16) build: "tree" (the paper's reduction tree, the default),
+// "fattree" (the smallest k-ary fat tree holding the hosts), or
+// "fattree:K" for a fixed arity — see TOPOLOGIES.md for the routing and
+// handler-placement rules. The scalesweep experiment always uses fat trees.
 //
 // With -run all the registry fans out over -parallel worker goroutines
 // (default: the CPU count); results always print in registry order, so the

@@ -23,6 +23,12 @@
 // -faults arms a JSON fault plan (see RELIABILITY.md) on every simulated
 // cluster, with -fault-seed overriding the plan's PRNG seed — the knobs for
 // sweeping reliability parameters instead of problem sizes.
+//
+// -topology switches the reduce sweep's cluster between the paper's
+// reduction tree (the default) and a k-ary fat tree ("fattree" or
+// "fattree:K" — see TOPOLOGIES.md), e.g.
+//
+//	sansweep -sweep reduce -nodes 4,16,64 -topology fattree
 package main
 
 import (

@@ -210,14 +210,20 @@ func sliceBounds(j, p, elems int) (lo, hi int) {
 }
 
 // Run executes one reduction and returns its latency and verified result.
+// The cluster honors the process-wide -topology default (tree or fat tree).
 func Run(kind Kind, active bool, p int, prm Params) Result {
 	eng := sim.NewEngine()
-	c := cluster.NewTreeCluster(eng, cluster.DefaultTreeConfig(p))
-	return runOn(eng, c, kind, active, p, prm)
+	c := cluster.BuildCollective(eng, cluster.DefaultTreeConfig(p))
+	return RunOn(eng, c, kind, active, p, prm)
 }
 
-// runOn executes the reduction on a prebuilt tree cluster.
-func runOn(eng *sim.Engine, c *cluster.Cluster, kind Kind, active bool, p int, prm Params) Result {
+// RunOn executes the reduction on a prebuilt cluster with a populated Tree
+// (a reduction tree or a fat tree's aggregation overlay). In the active
+// case the combine handler is placed per stage: only switches participating
+// in the aggregation tree — leaves/edges ingesting host vectors, interior
+// aggregation switches combining partials, the root delivering — get the
+// handler; pass-through switches stay conventional.
+func RunOn(eng *sim.Engine, c *cluster.Cluster, kind Kind, active bool, p int, prm Params) Result {
 	elems := prm.Elems
 
 	hostIDs := make([]san.NodeID, p)
@@ -242,6 +248,9 @@ func runOn(eng *sim.Engine, c *cluster.Cluster, kind Kind, active bool, p int, p
 			}
 		}
 		for _, sw := range c.Switches {
+			if c.Tree.Children[sw.ID()] == 0 {
+				continue // not in the aggregation tree: no handler placed
+			}
 			acc := make([]int64, elems)
 			for i := range acc {
 				acc[i] = prm.Op.Identity()
@@ -644,7 +653,7 @@ func RoundVector(j, r, elems int) []int64 {
 // per-round time beats the isolated latency.
 func RunPipelined(p int, rounds int, prm Params) PipelinedResult {
 	eng := sim.NewEngine()
-	c := cluster.NewTreeCluster(eng, cluster.DefaultTreeConfig(p))
+	c := cluster.BuildCollective(eng, cluster.DefaultTreeConfig(p))
 	elems := prm.Elems
 
 	hostIDs := make([]san.NodeID, p)
@@ -665,6 +674,9 @@ func RunPipelined(p int, rounds int, prm Params) PipelinedResult {
 		}
 	}
 	for _, sw := range c.Switches {
+		if c.Tree.Children[sw.ID()] == 0 {
+			continue // not in the aggregation tree: no handler placed
+		}
 		st := &pipeState{
 			rounds:   make(map[int]*roundAcc),
 			expected: c.Tree.Children[sw.ID()],
@@ -780,5 +792,5 @@ func RunWithInterrupts(kind Kind, active bool, p int, prm Params) Result {
 	eng := sim.NewEngine()
 	cfg := cluster.DefaultTreeConfig(p)
 	cfg.Host.OS.InterruptRecv = true
-	return runOn(eng, cluster.NewTreeCluster(eng, cfg), kind, active, p, prm)
+	return RunOn(eng, cluster.BuildCollective(eng, cfg), kind, active, p, prm)
 }

@@ -1,0 +1,146 @@
+// Package scalesweep probes the paper's core claim at scale: in-network
+// aggregation cuts host I/O traffic, and the saving grows with the cluster.
+// It sweeps a reduce-to-one collective over host counts on k-ary fat trees
+// (the smallest k holding each point), running each point twice — active
+// (hop-by-hop partial aggregation in the edge/agg/core switches) and
+// passive (binomial MST on the hosts) — and reports completion-time and
+// host-I/O-byte scaling curves. Not a figure from the paper: the paper
+// stops at a fixed reduction tree; this is the scale-out extension its
+// Section 7 gestures at.
+package scalesweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"activesan/internal/apps/reduce"
+	"activesan/internal/cluster"
+	"activesan/internal/sim"
+	"activesan/internal/stats"
+)
+
+// Params sizes the sweep.
+type Params struct {
+	// HostCounts are the swept cluster sizes.
+	HostCounts []int
+	// Reduce calibrates the collective at every point.
+	Reduce reduce.Params
+}
+
+// DefaultParams sweeps 4 to 64 hosts with the paper's 512-byte vectors.
+func DefaultParams() Params {
+	return Params{
+		HostCounts: []int{4, 8, 16, 32, 64},
+		Reduce:     reduce.DefaultParams(),
+	}
+}
+
+// Point is one (hosts, variant) measurement.
+type Point struct {
+	Hosts     int
+	K         int // fat-tree arity used
+	Switches  int // physical switch count
+	Latency   sim.Time
+	HostBytes int64 // total bytes crossing host NICs
+	Correct   bool
+}
+
+// RunPoint measures one variant at one cluster size on the minimal fat
+// tree. The cluster outlives the run so NIC counters can be harvested.
+func RunPoint(hosts int, active bool, prm reduce.Params) Point {
+	eng := sim.NewEngine()
+	cfg := cluster.DefaultFatTreeConfig(hosts)
+	c := cluster.NewFatTreeCluster(eng, cfg)
+	r := reduce.RunOn(eng, c, reduce.ToOne, active, hosts, prm)
+	var bytes int64
+	for _, h := range c.Hosts {
+		bytes += h.Traffic()
+	}
+	return Point{
+		Hosts:     hosts,
+		K:         cfg.K,
+		Switches:  len(c.Switches),
+		Latency:   r.Latency,
+		HostBytes: bytes,
+		Correct:   r.Correct,
+	}
+}
+
+// RunAll runs the sweep sequentially.
+func RunAll(prm Params) *stats.Result { return RunAllParallel(prm, 1) }
+
+// RunAllParallel fans the sweep points over `workers` goroutines (each
+// point simulates active and passive on its own engines). Output order
+// follows HostCounts whatever the completion order, so any worker count is
+// byte-identical to a sequential run. workers < 1 selects runtime.NumCPU().
+func RunAllParallel(prm Params, workers int) *stats.Result {
+	res := &stats.Result{
+		ID:    "scalesweep",
+		Title: "Reduce at scale on k-ary fat trees: active vs passive",
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(prm.HostCounts) {
+		workers = len(prm.HostCounts)
+	}
+	type pair struct{ passive, active Point }
+	points := make([]pair, len(prm.HostCounts))
+	runIdx := func(i int) {
+		points[i].passive = RunPoint(prm.HostCounts[i], false, prm.Reduce)
+		points[i].active = RunPoint(prm.HostCounts[i], true, prm.Reduce)
+	}
+	if workers <= 1 {
+		for i := range prm.HostCounts {
+			runIdx(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runIdx(i)
+				}
+			}()
+		}
+		for i := range prm.HostCounts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var passLat, actLat, passBytes, actBytes stats.Series
+	passLat.Name = "passive (host MST)"
+	actLat.Name = "active (in-switch aggregation)"
+	passBytes.Name = "passive host bytes"
+	actBytes.Name = "active host bytes"
+	for i, p := range prm.HostCounts {
+		pp, pa := points[i].passive, points[i].active
+		if !pp.Correct || !pa.Correct {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"p=%d: INCORRECT result (passive ok=%v, active ok=%v)", p, pp.Correct, pa.Correct))
+		}
+		x := float64(p)
+		passLat.X = append(passLat.X, x)
+		passLat.Y = append(passLat.Y, pp.Latency.Micros())
+		actLat.X = append(actLat.X, x)
+		actLat.Y = append(actLat.Y, pa.Latency.Micros())
+		passBytes.X = append(passBytes.X, x)
+		passBytes.Y = append(passBytes.Y, float64(pp.HostBytes))
+		actBytes.X = append(actBytes.X, x)
+		actBytes.Y = append(actBytes.Y, float64(pa.HostBytes))
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"p=%-3d k=%d (%d switches): host I/O %d B active vs %d B passive (%.2fx less), latency %v vs %v",
+			p, pa.K, pa.Switches, pa.HostBytes, pp.HostBytes,
+			float64(pp.HostBytes)/float64(pa.HostBytes), pa.Latency, pp.Latency))
+	}
+	sp := stats.SpeedupSeries("speedup", passLat, actLat)
+	res.Series = []stats.Series{passLat, actLat, passBytes, actBytes, sp}
+	res.Notes = append(res.Notes, fmt.Sprintf("max speedup %.2fx", sp.MaxY()))
+	return res
+}

@@ -1,0 +1,93 @@
+package scalesweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestActiveCutsHostIOAt64Hosts is the headline acceptance check: a 64-host
+// fat-tree reduction completes correctly in both variants and the active
+// configuration moves strictly fewer bytes across host NICs than the
+// passive MST — the paper's core claim, held at scale.
+func TestActiveCutsHostIOAt64Hosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-host fat tree (80 switches)")
+	}
+	prm := DefaultParams().Reduce
+	active := RunPoint(64, true, prm)
+	passive := RunPoint(64, false, prm)
+	if !active.Correct || !passive.Correct {
+		t.Fatalf("incorrect reduction: active ok=%v, passive ok=%v", active.Correct, passive.Correct)
+	}
+	if active.K != 8 || active.Switches != 80 {
+		t.Errorf("64 hosts built k=%d with %d switches, want k=8 with 80", active.K, active.Switches)
+	}
+	if active.HostBytes >= passive.HostBytes {
+		t.Errorf("active host I/O %d B >= passive %d B: in-network aggregation saved nothing",
+			active.HostBytes, passive.HostBytes)
+	}
+	if active.Latency >= passive.Latency {
+		t.Errorf("active latency %v >= passive %v", active.Latency, passive.Latency)
+	}
+}
+
+// TestHostIOSavingGrowsWithScale checks the scaling shape: the passive MST
+// moves ~log2(p) vectors per host while active moves one up and at most one
+// down, so the byte ratio must widen as hosts grow.
+func TestHostIOSavingGrowsWithScale(t *testing.T) {
+	prm := DefaultParams().Reduce
+	counts := []int{4, 16}
+	if !testing.Short() {
+		counts = append(counts, 64)
+	}
+	prev := 0.0
+	for _, p := range counts {
+		a := RunPoint(p, true, prm)
+		b := RunPoint(p, false, prm)
+		ratio := float64(b.HostBytes) / float64(a.HostBytes)
+		if ratio <= prev {
+			t.Errorf("p=%d: passive/active byte ratio %.3f did not grow (prev %.3f)", p, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers pins byte-identity of the sweep under
+// the parallel harness: the same Params through 1 worker and many workers
+// must serialize identically, including at the largest point.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	prm := DefaultParams()
+	if testing.Short() {
+		prm.HostCounts = []int{4, 8}
+	}
+	serial := RunAll(prm)
+	parallel := RunAllParallel(prm, 4)
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("parallel sweep diverges from serial:\n%s\n%s", a, b)
+	}
+}
+
+// TestEveryPointCorrect runs the shrunk sweep and requires the oracle check
+// to pass at every point (no INCORRECT notes).
+func TestEveryPointCorrect(t *testing.T) {
+	prm := DefaultParams()
+	prm.HostCounts = []int{4, 8, 16}
+	res := RunAll(prm)
+	for _, n := range res.Notes {
+		if bytes.Contains([]byte(n), []byte("INCORRECT")) {
+			t.Errorf("sweep note: %s", n)
+		}
+	}
+	if len(res.Series) != 5 {
+		t.Errorf("%d series, want 5 (two latency, two host-byte, speedup)", len(res.Series))
+	}
+}

@@ -1,6 +1,7 @@
 // Package cliflags is the flag wiring shared by cmd/activesim and
-// cmd/sansweep: output paths (metrics, traces, pprof profiles) and the
-// fault-injection plan. Both commands declare the same flags with the same
+// cmd/sansweep: output paths (metrics, traces, pprof profiles), the
+// fault-injection plan, and the collective topology selector.
+// Both commands declare the same flags with the same
 // semantics; this package keeps them from drifting and gives their values
 // one validated Setup path with helpful errors instead of two copies of the
 // boilerplate.
@@ -11,7 +12,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
+	"activesan/internal/cluster"
 	"activesan/internal/fault"
 	"activesan/internal/metrics"
 	"activesan/internal/prof"
@@ -27,6 +31,7 @@ type Common struct {
 	MemProfile string
 	Faults     string
 	FaultSeed  uint64
+	Topology   string
 }
 
 // Register declares the shared flags on the default flag set. Call before
@@ -43,7 +48,28 @@ func Register() *Common {
 	flag.StringVar(&c.Faults, "faults", "",
 		"arm the fault plan in this JSON file on every simulated cluster (see RELIABILITY.md)")
 	flag.Uint64Var(&c.FaultSeed, "fault-seed", 0, "override the fault plan's PRNG seed (requires -faults)")
+	flag.StringVar(&c.Topology, "topology", "tree",
+		"collective topology: tree (the paper's reduction tree), fattree, or fattree:K (see TOPOLOGIES.md)")
 	return c
+}
+
+// parseTopology validates a -topology value, returning the kind and the
+// fat-tree arity override (0 = pick the smallest fit).
+func parseTopology(v string) (kind string, k int, err error) {
+	switch {
+	case v == "" || v == "tree":
+		return "tree", 0, nil
+	case v == "fattree":
+		return "fattree", 0, nil
+	case strings.HasPrefix(v, "fattree:"):
+		k, err := strconv.Atoi(v[len("fattree:"):])
+		if err != nil || k < 2 || k%2 != 0 {
+			return "", 0, fmt.Errorf("fattree arity %q must be an even integer >= 2", v[len("fattree:"):])
+		}
+		return "fattree", k, nil
+	default:
+		return "", 0, fmt.Errorf("unknown topology %q (want tree, fattree, or fattree:K)", v)
+	}
 }
 
 // Setup validates the parsed values and installs their process-wide effects:
@@ -55,6 +81,11 @@ func (c *Common) Setup() (cleanup func(), err error) {
 	if c.FaultSeed != 0 && c.Faults == "" {
 		return noop, fmt.Errorf("-fault-seed has no effect without -faults")
 	}
+	kind, k, err := parseTopology(c.Topology)
+	if err != nil {
+		return noop, fmt.Errorf("-topology: %w", err)
+	}
+	cluster.SetDefaultTopology(kind, k)
 	if c.Faults != "" {
 		plan, err := fault.Load(c.Faults)
 		if err != nil {

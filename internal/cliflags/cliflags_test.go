@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"activesan/internal/cluster"
 	"activesan/internal/fault"
 )
 
@@ -54,6 +55,44 @@ func TestSetupRejectsInvalidPlan(t *testing.T) {
 		t.Fatal("missing plan file accepted")
 	}
 	cleanup()
+}
+
+func TestSetupInstallsTopologyDefault(t *testing.T) {
+	defer cluster.SetDefaultTopology("tree", 0)
+	cases := []struct {
+		flag string
+		kind string
+		k    int
+	}{
+		{"", "tree", 0},
+		{"tree", "tree", 0},
+		{"fattree", "fattree", 0},
+		{"fattree:8", "fattree", 8},
+	}
+	for _, tc := range cases {
+		c := &Common{Topology: tc.flag}
+		cleanup, err := c.Setup()
+		if err != nil {
+			t.Fatalf("Setup(-topology=%q): %v", tc.flag, err)
+		}
+		cleanup()
+		kind, k := cluster.DefaultTopology()
+		if kind != tc.kind || k != tc.k {
+			t.Errorf("-topology=%q installed (%q, %d), want (%q, %d)", tc.flag, kind, k, tc.kind, tc.k)
+		}
+	}
+}
+
+func TestSetupRejectsBadTopology(t *testing.T) {
+	defer cluster.SetDefaultTopology("tree", 0)
+	for _, v := range []string{"mesh", "fattree:7", "fattree:0", "fattree:x"} {
+		c := &Common{Topology: v}
+		cleanup, err := c.Setup()
+		cleanup()
+		if err == nil || !strings.Contains(err.Error(), "-topology") {
+			t.Errorf("-topology=%q: err = %v, want a -topology complaint", v, err)
+		}
+	}
 }
 
 func TestEnsureParent(t *testing.T) {

@@ -1,7 +1,10 @@
 // Package cluster assembles simulated systems: hosts, storage nodes and
 // active switches wired into the paper's topologies — a single-switch
-// I/O cluster for the streaming benchmarks, and the log_{N/2}(p) switch
-// tree used for collective reduction at scale.
+// I/O cluster for the streaming benchmarks, the log_{N/2}(p) switch
+// tree used for collective reduction at scale, and k-ary fat trees for
+// scale-out experiments. All builders share one declarative layer
+// (Topology + Build, see TOPOLOGIES.md) that owns link wiring and
+// deterministic shortest-path routing.
 package cluster
 
 import (
@@ -29,8 +32,13 @@ type Cluster struct {
 	Stores   []*iodev.StorageNode
 
 	// Tree describes the switch hierarchy for tree topologies (nil for
-	// single-switch clusters).
+	// single-switch clusters). For fat trees it is the overlay aggregation
+	// tree, not the physical graph.
 	Tree *TreeInfo
+
+	// Topo describes the built switch graph (spec, adjacency, endpoint
+	// attachment) for clusters built through the Topology layer.
+	Topo *TopoInfo
 
 	// ExtraMetrics, when set, contributes additional top-level values to the
 	// metrics snapshot (the fault injector registers its counters here; the
@@ -45,8 +53,8 @@ type Cluster struct {
 }
 
 // TreeInfo captures the reduction tree's shape: each switch's parent (the
-// root maps to san.NoNode), each host's leaf switch, and how many direct
-// children (hosts or switches) feed each switch.
+// root and non-participating switches map to san.NoNode), each host's leaf
+// switch, and how many direct children (hosts or switches) feed each switch.
 type TreeInfo struct {
 	Parent   map[san.NodeID]san.NodeID
 	HostLeaf map[san.NodeID]san.NodeID
@@ -129,23 +137,22 @@ func DefaultIOClusterConfig() IOClusterConfig {
 // j has StoreIDBase+j; the switch is SwitchIDBase.
 func NewIOCluster(eng *sim.Engine, cfg IOClusterConfig) *Cluster {
 	ports := cfg.Hosts + cfg.Stores
-	if cfg.Switch.Base.Ports < ports {
-		cfg.Switch.Base.Ports = ports
+	if cfg.Switch.Base.Ports > ports {
+		ports = cfg.Switch.Base.Ports
 	}
-	sw := aswitch.New(eng, SwitchIDBase, "sw0", cfg.Switch)
-	c := &Cluster{Eng: eng, Switches: []*aswitch.ActiveSwitch{sw}}
-	port := 0
+	t := Topology{
+		Switches: []SwitchSpec{{Name: "sw0", Ports: ports}},
+		Switch:   cfg.Switch,
+		Host:     cfg.Host,
+		IO:       cfg.IO,
+	}
 	for i := 0; i < cfg.Hosts; i++ {
-		h := attachHost(eng, sw, port, HostIDBase+san.NodeID(i), fmt.Sprintf("h%d", i), cfg.Host)
-		c.Hosts = append(c.Hosts, h)
-		port++
+		t.Hosts = append(t.Hosts, NodeSpec{})
 	}
 	for j := 0; j < cfg.Stores; j++ {
-		s := attachStore(eng, sw, port, StoreIDBase+san.NodeID(j), fmt.Sprintf("d%d", j), cfg.IO)
-		c.Stores = append(c.Stores, s)
-		port++
+		t.Stores = append(t.Stores, NodeSpec{})
 	}
-	return c
+	return Build(eng, t)
 }
 
 // TreeConfig parameterizes NewTreeCluster.
@@ -173,15 +180,6 @@ func DefaultTreeConfig(p int) TreeConfig {
 	}
 }
 
-// treeNode is a switch under construction with its subtree membership.
-type treeNode struct {
-	sw         *aswitch.ActiveSwitch
-	parent     *treeNode
-	parentPort int
-	nextPort   int
-	subtree    []san.NodeID
-}
-
 // NewTreeCluster builds a switch tree: ceil(p/HostsPerLeaf) leaf switches,
 // reduced Arity-to-1 per level up to a single root. Switch 0 in the result
 // is the root; leaves follow. Every switch routes every host and switch id.
@@ -191,125 +189,81 @@ func NewTreeCluster(eng *sim.Engine, cfg TreeConfig) *Cluster {
 	if cfg.Hosts <= 0 || cfg.HostsPerLeaf <= 0 || cfg.Arity < 2 {
 		panic("cluster: invalid tree configuration")
 	}
-	c := &Cluster{Eng: eng, Tree: &TreeInfo{
-		Parent:   make(map[san.NodeID]san.NodeID),
-		HostLeaf: make(map[san.NodeID]san.NodeID),
-		Children: make(map[san.NodeID]int),
-	}}
-	swID := SwitchIDBase
-
-	newSwitch := func(name string) *treeNode {
-		sw := aswitch.New(eng, swID, name, cfg.Switch)
-		swID++
-		n := &treeNode{sw: sw}
-		return n
-	}
-
-	// Build leaves with their hosts.
 	nLeaves := (cfg.Hosts + cfg.HostsPerLeaf - 1) / cfg.HostsPerLeaf
-	var level []*treeNode
-	hostIdx := 0
+	t := Topology{Switch: cfg.Switch, Host: cfg.Host}
+	var level []int
 	for l := 0; l < nLeaves; l++ {
-		leaf := newSwitch(fmt.Sprintf("leaf%d", l))
-		for k := 0; k < cfg.HostsPerLeaf && hostIdx < cfg.Hosts; k++ {
-			id := HostIDBase + san.NodeID(hostIdx)
-			h := attachHost(eng, leaf.sw, leaf.nextPort, id, fmt.Sprintf("h%d", hostIdx), cfg.Host)
-			leaf.nextPort++
-			leaf.subtree = append(leaf.subtree, id)
-			c.Hosts = append(c.Hosts, h)
-			c.Tree.HostLeaf[id] = leaf.sw.ID()
-			c.Tree.Children[leaf.sw.ID()]++
-			hostIdx++
-		}
-		level = append(level, leaf)
+		t.Switches = append(t.Switches, SwitchSpec{
+			Name: fmt.Sprintf("leaf%d", l), Ports: cfg.Switch.Base.Ports, Role: "leaf",
+		})
+		level = append(level, l)
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		t.Hosts = append(t.Hosts, NodeSpec{Switch: i / cfg.HostsPerLeaf})
 	}
 
-	// Reduce levels until a single root remains.
-	allNodes := append([]*treeNode(nil), level...)
+	// Reduce levels until a single root remains; parents are named by their
+	// global creation index, matching the historical builder.
+	parent := make(map[int]int)
 	for len(level) > 1 {
-		var next []*treeNode
+		var next []int
 		for i := 0; i < len(level); i += cfg.Arity {
-			end := i + cfg.Arity
-			if end > len(level) {
-				end = len(level)
+			end := min(i+cfg.Arity, len(level))
+			p := len(t.Switches)
+			t.Switches = append(t.Switches, SwitchSpec{
+				Name: fmt.Sprintf("sw%d", p), Ports: cfg.Switch.Base.Ports, Role: "interior",
+			})
+			for _, child := range level[i:end] {
+				t.Links = append(t.Links, LinkSpec{A: p, B: child})
+				parent[child] = p
 			}
-			group := level[i:end]
-			parent := newSwitch(fmt.Sprintf("sw%d", len(allNodes)))
-			for _, child := range group {
-				connect(eng, parent, child)
-				parent.subtree = append(parent.subtree, child.subtree...)
-				parent.subtree = append(parent.subtree, child.sw.ID())
-				child.parent = parent
-				c.Tree.Parent[child.sw.ID()] = parent.sw.ID()
-				c.Tree.Children[parent.sw.ID()]++
-			}
-			allNodes = append(allNodes, parent)
-			next = append(next, parent)
+			next = append(next, p)
 		}
 		level = next
 	}
-	root := level[0]
+	rootIdx := level[0]
 
-	// Install upward routes: each switch reaches everything outside its
-	// subtree via its parent (downward routes were installed by connect).
-	all := append([]san.NodeID(nil), root.subtree...)
-	for _, n := range allNodes {
-		all = append(all, n.sw.ID())
+	c := Build(eng, t)
+
+	// Overlay the reduction-tree shape on node ids.
+	tree := &TreeInfo{
+		Parent:   make(map[san.NodeID]san.NodeID),
+		HostLeaf: make(map[san.NodeID]san.NodeID),
+		Children: make(map[san.NodeID]int),
 	}
-	for _, n := range allNodes {
-		installRoutes(n, all)
-	}
-
-	c.Tree.Root = root.sw.ID()
-	c.Tree.Parent[root.sw.ID()] = san.NoNode
-
-	// Order switches: root first, then the rest in creation order.
-	c.Switches = append(c.Switches, root.sw)
-	for _, n := range allNodes {
-		if n != root {
-			c.Switches = append(c.Switches, n.sw)
+	id := func(idx int) san.NodeID { return c.Topo.Sw[idx].ID() }
+	for idx := range t.Switches {
+		if idx == rootIdx {
+			continue
+		}
+		if p, ok := parent[idx]; ok {
+			tree.Parent[id(idx)] = id(p)
+		} else {
+			tree.Parent[id(idx)] = san.NoNode
 		}
 	}
+	for _, l := range t.Links {
+		tree.Children[id(l.A)]++
+	}
+	for i, h := range c.Hosts {
+		leaf := id(t.Hosts[i].Switch)
+		tree.HostLeaf[h.ID()] = leaf
+		tree.Children[leaf]++
+	}
+	tree.Root = id(rootIdx)
+	tree.Parent[tree.Root] = san.NoNode
+	c.Tree = tree
+
+	// Order switches root first, then the rest in creation order, so
+	// Switch(0) is the root and Start order matches the historical builder.
+	ordered := []*aswitch.ActiveSwitch{c.Topo.Sw[rootIdx]}
+	for idx, sw := range c.Topo.Sw {
+		if idx != rootIdx {
+			ordered = append(ordered, sw)
+		}
+	}
+	c.Switches = ordered
 	return c
-}
-
-// connect wires child's uplink to parent's next free port pair.
-func connect(eng *sim.Engine, parent, child *treeNode) {
-	link := parent.sw.Config().Link
-	up := san.NewLink(eng, fmt.Sprintf("%s->%s", child.sw.Name(), parent.sw.Name()), link)
-	down := san.NewLink(eng, fmt.Sprintf("%s->%s", parent.sw.Name(), child.sw.Name()), link)
-	parent.sw.AttachPort(parent.nextPort, up, down)
-	child.childUplink(eng, down, up)
-	// Route all of child's subtree out of this parent port.
-	for _, id := range child.subtree {
-		parent.sw.SetRoute(id, parent.nextPort)
-	}
-	parent.sw.SetRoute(child.sw.ID(), parent.nextPort)
-	parent.nextPort++
-}
-
-// childUplink attaches the parent-facing links on the child's next port.
-func (n *treeNode) childUplink(eng *sim.Engine, fromParent, toParent *san.Link) {
-	n.sw.AttachPort(n.nextPort, fromParent, toParent)
-	n.parentPort = n.nextPort
-	n.nextPort++
-}
-
-// installRoutes gives one switch a route for every id it cannot already
-// reach downward: anything outside its subtree goes to the parent.
-func installRoutes(n *treeNode, all []san.NodeID) {
-	if n.parent == nil {
-		return
-	}
-	have := make(map[san.NodeID]bool, len(n.subtree))
-	for _, id := range n.subtree {
-		have[id] = true
-	}
-	for _, id := range all {
-		if !have[id] && id != n.sw.ID() && n.sw.Route(id) < 0 {
-			n.sw.SetRoute(id, n.parentPort)
-		}
-	}
 }
 
 // NewDualIOCluster builds a two-switch system: hosts on switch 0, storage
@@ -317,41 +271,21 @@ func installRoutes(n *treeNode, all []san.NodeID) {
 // placement argument — a filter on the storage-side switch saves trunk
 // bandwidth, one on the host-side switch does not.
 func NewDualIOCluster(eng *sim.Engine, cfg IOClusterConfig) *Cluster {
-	hostPorts := cfg.Hosts + 1
-	storePorts := cfg.Stores + 1
-	hostCfg := cfg.Switch
-	hostCfg.Base.Ports = hostPorts
-	storeCfg := cfg.Switch
-	storeCfg.Base.Ports = storePorts
-
-	swH := aswitch.New(eng, SwitchIDBase, "swH", hostCfg)
-	swS := aswitch.New(eng, SwitchIDBase+1, "swS", storeCfg)
-	c := &Cluster{Eng: eng, Switches: []*aswitch.ActiveSwitch{swH, swS}}
-
+	t := Topology{
+		Switches: []SwitchSpec{
+			{Name: "swH", Ports: cfg.Hosts + 1},
+			{Name: "swS", Ports: cfg.Stores + 1},
+		},
+		Links:  []LinkSpec{{A: 0, B: 1, ABName: "trunk.hs", BAName: "trunk.sh"}},
+		Switch: cfg.Switch,
+		Host:   cfg.Host,
+		IO:     cfg.IO,
+	}
 	for i := 0; i < cfg.Hosts; i++ {
-		h := attachHost(eng, swH, i, HostIDBase+san.NodeID(i), fmt.Sprintf("h%d", i), cfg.Host)
-		c.Hosts = append(c.Hosts, h)
+		t.Hosts = append(t.Hosts, NodeSpec{Switch: 0})
 	}
 	for j := 0; j < cfg.Stores; j++ {
-		s := attachStore(eng, swS, j, StoreIDBase+san.NodeID(j), fmt.Sprintf("d%d", j), cfg.IO)
-		c.Stores = append(c.Stores, s)
+		t.Stores = append(t.Stores, NodeSpec{Switch: 1})
 	}
-
-	// Trunk on each switch's last port.
-	link := cfg.Switch.Base.Link
-	hs := san.NewLink(eng, "trunk.hs", link)
-	sh := san.NewLink(eng, "trunk.sh", link)
-	swH.AttachPort(hostPorts-1, sh, hs)
-	swS.AttachPort(storePorts-1, hs, sh)
-
-	// Routes: everything not local goes over the trunk.
-	for j := 0; j < cfg.Stores; j++ {
-		swH.SetRoute(StoreIDBase+san.NodeID(j), hostPorts-1)
-	}
-	swH.SetRoute(swS.ID(), hostPorts-1)
-	for i := 0; i < cfg.Hosts; i++ {
-		swS.SetRoute(HostIDBase+san.NodeID(i), storePorts-1)
-	}
-	swS.SetRoute(swH.ID(), storePorts-1)
-	return c
+	return Build(eng, t)
 }

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"activesan/internal/aswitch"
+	"activesan/internal/host"
+	"activesan/internal/iodev"
+	"activesan/internal/san"
+	"activesan/internal/sim"
+)
+
+// Topology is a declarative multi-switch cluster spec: a switch graph, the
+// trunk links joining it, and the endpoints hanging off each switch. Build
+// turns a spec into a wired Cluster with deterministic shortest-path routing
+// tables — the general layer underneath NewIOCluster, NewDualIOCluster,
+// NewTreeCluster and NewFatTreeCluster (see TOPOLOGIES.md).
+//
+// Everything about a spec is order-significant and value-deterministic:
+// switch IDs follow spec order from SwitchIDBase, ports are assigned in
+// attachment order (hosts, then stores, then links, each in spec order), and
+// route tables are a pure function of the spec. Two Builds of the same spec
+// produce identical clusters.
+type Topology struct {
+	// Switches lists the switch graph's vertices. Spec index is the switch's
+	// identity everywhere else in the spec.
+	Switches []SwitchSpec
+	// Links lists switch-to-switch trunks. Build wires both directions.
+	Links []LinkSpec
+	// Hosts and Stores place endpoints. Host i gets node id HostIDBase+i and
+	// name "h<i>"; store j gets StoreIDBase+j and "d<j>".
+	Hosts  []NodeSpec
+	Stores []NodeSpec
+
+	// Switch is the template configuration every switch is built from;
+	// Base.Ports is overridden per switch (SwitchSpec.Ports).
+	Switch aswitch.Config
+	// Host and IO configure the endpoints.
+	Host host.Config
+	IO   iodev.Config
+}
+
+// SwitchSpec is one switch in a Topology.
+type SwitchSpec struct {
+	// Name is the switch's debug name (also used in default link names).
+	Name string
+	// Ports fixes the port count; 0 sizes the switch to its attachments.
+	Ports int
+	// Role is an optional placement tag ("edge", "agg", "core", ...);
+	// handler placement selects switches by role via Cluster.SwitchesByRole.
+	Role string
+}
+
+// LinkSpec is one bidirectional trunk between switches A and B (spec
+// indexes). Build creates two links: A→B named ABName and B→A named BAName;
+// empty names default to "<nameA>-><nameB>" and "<nameB>-><nameA>".
+type LinkSpec struct {
+	A, B   int
+	ABName string
+	BAName string
+}
+
+// NodeSpec places one endpoint on a switch (spec index).
+type NodeSpec struct {
+	Switch int
+}
+
+// Validate checks a spec's internal references and connectivity. Build
+// panics on the first violation; tests can call Validate directly.
+func (t *Topology) Validate() error {
+	n := len(t.Switches)
+	if n == 0 {
+		return fmt.Errorf("topology: no switches")
+	}
+	for i, l := range t.Links {
+		if l.A < 0 || l.A >= n || l.B < 0 || l.B >= n {
+			return fmt.Errorf("topology: links[%d] references switch %d/%d of %d", i, l.A, l.B, n)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("topology: links[%d] is a self-loop on switch %d", i, l.A)
+		}
+	}
+	for i, h := range t.Hosts {
+		if h.Switch < 0 || h.Switch >= n {
+			return fmt.Errorf("topology: hosts[%d] references switch %d of %d", i, h.Switch, n)
+		}
+	}
+	for i, s := range t.Stores {
+		if s.Switch < 0 || s.Switch >= n {
+			return fmt.Errorf("topology: stores[%d] references switch %d of %d", i, s.Switch, n)
+		}
+	}
+	// The switch graph must be connected or routing cannot cover it.
+	adj := make([][]int, n)
+	for _, l := range t.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("topology: switch %d (%s) unreachable from switch 0", i, t.Switches[i].Name)
+		}
+	}
+	return nil
+}
+
+// TopoInfo is the built form of a Topology, kept on the Cluster for route
+// verification, fault arming and handler placement.
+type TopoInfo struct {
+	// Spec is the topology the cluster was built from.
+	Spec Topology
+	// Sw maps spec index to the built switch (independent of the order of
+	// Cluster.Switches, which tree builders rearrange root-first).
+	Sw []*aswitch.ActiveSwitch
+	// Index maps a switch's node id back to its spec index.
+	Index map[san.NodeID]int
+	// PortPeer gives, per spec index, the peer switch behind each trunk
+	// port. Endpoint ports are absent.
+	PortPeer []map[int]int
+	// Attach maps every endpoint id to the spec index of its switch.
+	Attach map[san.NodeID]int
+}
+
+// Build instantiates a Topology on an engine: switches, endpoint and trunk
+// links, and shortest-path routing tables. Routing is deterministic BFS with
+// ECMP-style tie-breaks: among equal-cost next hops (sorted by port), the
+// primary port is chosen by hashing the destination id with the switch's
+// spec index — spreading flows across parallel uplinks — and the next
+// candidate becomes the backup route (used when the primary's link is down).
+// Next hops strictly decrease the distance to the destination, so routes are
+// loop-free by construction whatever the tie-break.
+func Build(eng *sim.Engine, t Topology) *Cluster {
+	if err := t.Validate(); err != nil {
+		panic("cluster: " + err.Error())
+	}
+	n := len(t.Switches)
+
+	// Attachment counts size auto-ported switches.
+	need := make([]int, n)
+	for _, h := range t.Hosts {
+		need[h.Switch]++
+	}
+	for _, s := range t.Stores {
+		need[s.Switch]++
+	}
+	for _, l := range t.Links {
+		need[l.A]++
+		need[l.B]++
+	}
+
+	info := &TopoInfo{
+		Spec:     t,
+		Sw:       make([]*aswitch.ActiveSwitch, n),
+		Index:    make(map[san.NodeID]int, n),
+		PortPeer: make([]map[int]int, n),
+		Attach:   make(map[san.NodeID]int),
+	}
+	c := &Cluster{Eng: eng, Topo: info}
+
+	for i, spec := range t.Switches {
+		ports := spec.Ports
+		if ports == 0 {
+			ports = need[i]
+		} else if ports < need[i] {
+			panic(fmt.Sprintf("cluster: switch %d (%s) has %d ports but %d attachments",
+				i, spec.Name, ports, need[i]))
+		}
+		cfg := t.Switch
+		cfg.Base.Ports = ports
+		sw := aswitch.New(eng, SwitchIDBase+san.NodeID(i), spec.Name, cfg)
+		info.Sw[i] = sw
+		info.Index[sw.ID()] = i
+		info.PortPeer[i] = make(map[int]int)
+		c.Switches = append(c.Switches, sw)
+	}
+
+	// Endpoints first (hosts, then stores), so single-switch layouts keep
+	// their historical port order; trunks take the ports after them.
+	nextPort := make([]int, n)
+	for i, h := range t.Hosts {
+		id := HostIDBase + san.NodeID(i)
+		sw := info.Sw[h.Switch]
+		c.Hosts = append(c.Hosts, attachHost(eng, sw, nextPort[h.Switch], id, fmt.Sprintf("h%d", i), t.Host))
+		nextPort[h.Switch]++
+		info.Attach[id] = h.Switch
+	}
+	for j, s := range t.Stores {
+		id := StoreIDBase + san.NodeID(j)
+		sw := info.Sw[s.Switch]
+		c.Stores = append(c.Stores, attachStore(eng, sw, nextPort[s.Switch], id, fmt.Sprintf("d%d", j), t.IO))
+		nextPort[s.Switch]++
+		info.Attach[id] = s.Switch
+	}
+	for _, l := range t.Links {
+		abName, baName := l.ABName, l.BAName
+		if abName == "" {
+			abName = fmt.Sprintf("%s->%s", t.Switches[l.A].Name, t.Switches[l.B].Name)
+		}
+		if baName == "" {
+			baName = fmt.Sprintf("%s->%s", t.Switches[l.B].Name, t.Switches[l.A].Name)
+		}
+		linkCfg := t.Switch.Base.Link
+		ab := san.NewLink(eng, abName, linkCfg)
+		ba := san.NewLink(eng, baName, linkCfg)
+		info.Sw[l.A].AttachPort(nextPort[l.A], ba, ab)
+		info.Sw[l.B].AttachPort(nextPort[l.B], ab, ba)
+		info.PortPeer[l.A][nextPort[l.A]] = l.B
+		info.PortPeer[l.B][nextPort[l.B]] = l.A
+		nextPort[l.A]++
+		nextPort[l.B]++
+	}
+
+	installShortestPaths(info)
+	return c
+}
+
+// installShortestPaths fills every switch's routing table from BFS over the
+// trunk graph: one BFS per destination switch covers that switch's own id
+// and every endpoint attached to it.
+func installShortestPaths(info *TopoInfo) {
+	n := len(info.Sw)
+	// Sorted trunk-port lists make candidate order a pure function of the
+	// spec.
+	ports := make([][]int, n)
+	for i := range ports {
+		for p := range info.PortPeer[i] {
+			ports[i] = append(ports[i], p)
+		}
+		sort.Ints(ports[i])
+	}
+
+	// destsAt[t]: node ids routed toward switch t.
+	destsAt := make([][]san.NodeID, n)
+	for i, sw := range info.Sw {
+		destsAt[i] = append(destsAt[i], sw.ID())
+	}
+	// Attach iteration must be deterministic: walk ids in sorted order.
+	epIDs := make([]san.NodeID, 0, len(info.Attach))
+	for id := range info.Attach {
+		epIDs = append(epIDs, id)
+	}
+	sort.Slice(epIDs, func(a, b int) bool { return epIDs[a] < epIDs[b] })
+	for _, id := range epIDs {
+		at := info.Attach[id]
+		destsAt[at] = append(destsAt[at], id)
+	}
+
+	dist := make([]int, n)
+	for tIdx := 0; tIdx < n; tIdx++ {
+		bfsFrom(info, tIdx, dist)
+		for s := 0; s < n; s++ {
+			if s == tIdx || dist[s] < 0 {
+				continue
+			}
+			var cand []int
+			for _, p := range ports[s] {
+				if peer := info.PortPeer[s][p]; dist[peer] == dist[s]-1 {
+					cand = append(cand, p)
+				}
+			}
+			if len(cand) == 0 {
+				continue // unreachable (Validate rejects this)
+			}
+			sw := info.Sw[s]
+			for _, id := range destsAt[tIdx] {
+				pick := (int(id) + s) % len(cand)
+				sw.SetRoute(id, cand[pick])
+				if len(cand) > 1 {
+					sw.SetBackupRoute(id, cand[(pick+1)%len(cand)])
+				}
+			}
+		}
+	}
+}
+
+// bfsFrom fills dist with hop counts from switch t over the trunk graph
+// (-1 = unreachable).
+func bfsFrom(info *TopoInfo, t int, dist []int) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[t] = 0
+	queue := []int{t}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, peer := range info.PortPeer[v] {
+			if dist[peer] < 0 {
+				dist[peer] = dist[v] + 1
+				queue = append(queue, peer)
+			}
+		}
+	}
+}
+
+// SwitchesByRole returns the switches tagged with role in spec order — the
+// handler-placement selector (register a stage's handler on "edge" switches,
+// another on "agg"). Nil for clusters built without a Topology or when no
+// switch carries the role.
+func (c *Cluster) SwitchesByRole(role string) []*aswitch.ActiveSwitch {
+	if c.Topo == nil {
+		return nil
+	}
+	var out []*aswitch.ActiveSwitch
+	for i, spec := range c.Topo.Spec.Switches {
+		if spec.Role == role {
+			out = append(out, c.Topo.Sw[i])
+		}
+	}
+	return out
+}
+
+// The process-wide default topology kind, installed by the -topology flag
+// (mirroring fault.SetDefault): collective experiments consult it when
+// building their clusters. Kind "" or "tree" selects the paper's reduction
+// tree; "fattree" selects a k-ary fat tree (k = 0 picks the smallest fit).
+var (
+	defTopoMu   sync.Mutex
+	defTopoKind string
+	defTopoK    int
+)
+
+// SetDefaultTopology installs the process-wide default collective topology.
+func SetDefaultTopology(kind string, k int) {
+	defTopoMu.Lock()
+	defer defTopoMu.Unlock()
+	defTopoKind, defTopoK = kind, k
+}
+
+// DefaultTopology returns the process-wide default collective topology.
+func DefaultTopology() (kind string, k int) {
+	defTopoMu.Lock()
+	defer defTopoMu.Unlock()
+	return defTopoKind, defTopoK
+}
+
+// BuildCollective builds the cluster a collective reduction runs on,
+// honoring the -topology default: the paper's switch tree unless a fat tree
+// was selected. The returned cluster always has a populated Tree.
+func BuildCollective(eng *sim.Engine, cfg TreeConfig) *Cluster {
+	kind, k := DefaultTopology()
+	if kind == "fattree" {
+		fcfg := DefaultFatTreeConfig(cfg.Hosts)
+		if k > 0 {
+			fcfg.K = k
+		}
+		fcfg.Switch = cfg.Switch
+		fcfg.Host = cfg.Host
+		return NewFatTreeCluster(eng, fcfg)
+	}
+	return NewTreeCluster(eng, cfg)
+}

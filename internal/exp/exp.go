@@ -17,6 +17,7 @@ import (
 	"activesan/internal/apps/mpeg"
 	"activesan/internal/apps/psort"
 	"activesan/internal/apps/reduce"
+	"activesan/internal/apps/scalesweep"
 	"activesan/internal/apps/sel"
 	"activesan/internal/apps/tarapp"
 	"activesan/internal/apps/twolevel"
@@ -176,6 +177,18 @@ var Registry = []Experiment{
 				prm.TableBytes = 4 << 20
 			}
 			return twolevel.RunAll(prm)
+		},
+	},
+	{
+		ID:    "scalesweep",
+		Paper: "Extension (scale-out)",
+		Title: "Reduce at scale on k-ary fat trees: active vs passive",
+		Run: func(scale int64) *stats.Result {
+			prm := scalesweep.DefaultParams()
+			if clampScale(scale) > 1 {
+				prm.HostCounts = []int{4, 8, 16}
+			}
+			return scalesweep.RunAll(prm)
 		},
 	},
 	{
@@ -366,6 +379,26 @@ func Shapes(res *stats.Result) []string {
 		if host.Traffic > 0 {
 			add("two-level host traffic %.4f%% of host-only (extension: not in the paper)",
 				100*float64(two.Traffic)/float64(host.Traffic))
+		}
+	case "scalesweep":
+		var passB, actB, sp *stats.Series
+		for i := range res.Series {
+			switch res.Series[i].Name {
+			case "passive host bytes":
+				passB = &res.Series[i]
+			case "active host bytes":
+				actB = &res.Series[i]
+			case "speedup":
+				sp = &res.Series[i]
+			}
+		}
+		if passB != nil && actB != nil && len(passB.Y) > 0 {
+			last := len(passB.Y) - 1
+			add("host I/O at %d hosts: active is %.1f%% of passive (extension: not in the paper)",
+				int(passB.X[last]), 100*actB.Y[last]/passB.Y[last])
+		}
+		if sp != nil {
+			add("max speedup %.2fx over the host MST", sp.MaxY())
 		}
 	case "faultsweep":
 		for _, s := range res.Series {

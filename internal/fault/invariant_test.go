@@ -1,0 +1,141 @@
+package fault
+
+// Invariant tests for fault arming and the loss ledger on the scale-out
+// fat-tree topology: Arm must reach every link the topology wires, and after
+// a lossy run with retransmission the ledger must balance exactly —
+// Injected == Recovered + Tolerated with nothing pending.
+
+import (
+	"testing"
+
+	"activesan/internal/cluster"
+	"activesan/internal/san"
+	"activesan/internal/sim"
+)
+
+func TestInvariantFatTreeArmCoversLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	c := cluster.NewFatTreeCluster(eng, cluster.DefaultFatTreeConfig(16))
+	defer c.Shutdown()
+
+	// Every trunk is two directed links shared by two ports; every endpoint
+	// contributes an up and a down link seen from one port.
+	want := 2*len(c.Topo.Spec.Links) + 2*(len(c.Hosts)+len(c.Stores))
+	links := clusterLinks(c)
+	if len(links) != want {
+		t.Fatalf("clusterLinks found %d links, want %d (%d trunks, %d endpoints)",
+			len(links), want, len(c.Topo.Spec.Links), len(c.Hosts)+len(c.Stores))
+	}
+
+	// Arming a match-everything plan must install the injector on all of
+	// them: a clean pass on any link is how recoveries are observed.
+	in := Arm(c, &Plan{Seed: 1, Links: []LinkRule{{Drop: 0.1}}}, 0)
+	for i, l := range links {
+		sent := 0
+		eng.Spawn("probe", func(p *sim.Proc) {
+			l.Send(p, &san.Packet{Size: 64})
+			sent++
+		})
+		eng.Run()
+		if sent != 1 {
+			t.Fatalf("probe %d wedged", i)
+		}
+	}
+	// Drop verdicts on the probes are injections with no protocol to recover
+	// them; they are tolerated immediately, so the ledger stays balanced.
+	if !in.Balanced() {
+		t.Fatalf("ledger unbalanced after probes: %+v pending %d", in.Counts(), in.Pending())
+	}
+}
+
+func TestInvariantFatTreeFaultLedgerBalance(t *testing.T) {
+	// Cross-pod traffic on a k=4 fat tree under lossy links with
+	// retransmission: every injected fault must end up recovered or
+	// tolerated, and every loss record resolved, once the run drains.
+	// Cross-pod paths are six links long, so per-link loss compounds —
+	// the retry budget is raised so no flow is abandoned (an abandoned
+	// flow legitimately leaves its losses pending).
+	eng := sim.NewEngine()
+	c := cluster.NewFatTreeCluster(eng, cluster.DefaultFatTreeConfig(16))
+	plan := &Plan{
+		Seed:        7,
+		Links:       []LinkRule{{Drop: 0.03, Corrupt: 0.02}},
+		Reliability: &Reliability{MaxRetries: 64},
+	}
+	in := Arm(c, plan, 0)
+	c.Start()
+
+	// Pair host i with host 15-i: all pairs cross pods, exercising edge,
+	// agg, and core links in both directions.
+	const pairs = 8
+	delivered := 0
+	for i := 0; i < pairs; i++ {
+		i := i
+		src, dst := c.Host(i), c.Host(15-i)
+		eng.Spawn("rx", func(p *sim.Proc) {
+			comp := dst.RecvAny(p)
+			if comp.Hdr.Src == src.ID() {
+				delivered++
+			}
+		})
+		eng.Spawn("tx", func(p *sim.Proc) {
+			src.SendMessage(p, &san.Message{
+				Hdr:  san.Header{Dst: dst.ID(), Type: san.Data, Flow: int64(1000 + i)},
+				Size: 4096,
+			}, 0)
+		})
+	}
+	eng.Run()
+	defer c.Shutdown()
+
+	if delivered != pairs {
+		t.Fatalf("delivered %d of %d messages under retransmission", delivered, pairs)
+	}
+	cnt := in.Counts()
+	if cnt.Injected == 0 {
+		t.Fatal("no faults injected: the plan did not bite")
+	}
+	if pend := in.Pending(); pend != 0 {
+		t.Fatalf("%d losses still pending after quiesce", pend)
+	}
+	if !in.Balanced() {
+		t.Fatalf("ledger unbalanced: Injected=%d Recovered=%d Tolerated=%d",
+			cnt.Injected, cnt.Recovered, cnt.Tolerated)
+	}
+}
+
+func TestInvariantFatTreeLedgerDeterministic(t *testing.T) {
+	// The same plan and traffic must produce the identical ledger on every
+	// run — the fault PRNG is seeded, never wall-clock.
+	run := func() Counts {
+		eng := sim.NewEngine()
+		c := cluster.NewFatTreeCluster(eng, cluster.DefaultFatTreeConfig(8))
+		in := Arm(c, &Plan{
+			Seed:        11,
+			Links:       []LinkRule{{Drop: 0.05}},
+			Reliability: &Reliability{MaxRetries: 64},
+		}, 0)
+		c.Start()
+		for i := 0; i < 4; i++ {
+			i := i
+			src, dst := c.Host(i), c.Host(7-i)
+			eng.Spawn("rx", func(p *sim.Proc) { dst.RecvAny(p) })
+			eng.Spawn("tx", func(p *sim.Proc) {
+				src.SendMessage(p, &san.Message{
+					Hdr:  san.Header{Dst: dst.ID(), Type: san.Data, Flow: int64(500 + i)},
+					Size: 2048,
+				}, 0)
+			})
+		}
+		eng.Run()
+		c.Shutdown()
+		if !in.Balanced() {
+			t.Fatalf("ledger unbalanced: %+v pending %d", in.Counts(), in.Pending())
+		}
+		return in.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("ledger differs across identical runs:\n  %+v\n  %+v", a, b)
+	}
+}

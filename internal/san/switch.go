@@ -180,6 +180,14 @@ func (s *Switch) Route(dst NodeID) int {
 	return -1
 }
 
+// BackupRoute returns the backup output port for dst, or -1 if none.
+func (s *Switch) BackupRoute(dst NodeID) int {
+	if p, ok := s.backup[dst]; ok {
+		return p
+	}
+	return -1
+}
+
 // SetBackupRoute directs packets for dst out of port when the primary
 // route's link is down. Like SetRoute, backup routes are fixed before Start.
 func (s *Switch) SetBackupRoute(dst NodeID, port int) {
