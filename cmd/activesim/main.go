@@ -15,6 +15,7 @@
 //	activesim -run all -strict-routes
 //	activesim -run fig15 -topology fattree     # collectives on a k-ary fat tree
 //	activesim -run scalesweep                  # fat-tree scaling curves, 4..64 hosts
+//	activesim -run hdlsweep -handler-src my.hdl  # HDL handlers, plus your own
 //
 // -faults arms the JSON fault plan (see RELIABILITY.md) on every simulated
 // cluster; -fault-seed overrides the plan's PRNG seed. -strict-routes turns
@@ -26,6 +27,11 @@
 // "fattree" (the smallest k-ary fat tree holding the hosts), or
 // "fattree:K" for a fixed arity — see TOPOLOGIES.md for the routing and
 // handler-placement rules. The scalesweep experiment always uses fat trees.
+//
+// -handler-src compiles an HDL handler source file (the declarative handler
+// language of HANDLERS.md) and adds it to the hdlsweep experiment alongside
+// the built-in library, so a user-written handler gets the same
+// compiled-on-switch vs host-interpreter comparison and differential check.
 //
 // With -run all the registry fans out over -parallel worker goroutines
 // (default: the CPU count); results always print in registry order, so the

@@ -29,6 +29,10 @@
 // "fattree:K" — see TOPOLOGIES.md), e.g.
 //
 //	sansweep -sweep reduce -nodes 4,16,64 -topology fattree
+//
+// -handler-src compiles an HDL handler source file (see HANDLERS.md) and
+// installs it process-wide; it is shared flag wiring with cmd/activesim,
+// where the hdlsweep experiment picks the handler up.
 package main
 
 import (

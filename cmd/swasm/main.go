@@ -6,19 +6,28 @@
 //	swasm -asm handler.s -o handler.img
 //	swasm -dis handler.img
 //	swasm -run handler.s -data input.bin -reg r5=64 -reg r6=16
+//	swasm -hdl handler.hdl [-o handler.img] [-data input.bin -param threshold=64]
 //
 // In -run mode, the data file is mapped at the stream base (0x100000) and
 // registers r1/r2 default to its bounds; emitted words, executed
 // instruction count and charged cycles are printed.
+//
+// In -hdl mode the source is compiled from the handler language (see
+// HANDLERS.md) instead of assembly. Without -o the generated assembly is
+// printed; with -data the compiled program is also dry-run on the data file
+// and cross-checked against the reference interpreter, so a divergence in
+// the toolchain fails right at the terminal.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"activesan/internal/hdl"
 	"activesan/internal/svm"
 )
 
@@ -43,14 +52,34 @@ func (r regFlags) Set(s string) error {
 	return nil
 }
 
+type paramFlags map[string]uint32
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]uint32(p)) }
+
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", val)
+	}
+	p[name] = uint32(v)
+	return nil
+}
+
 func main() {
 	asm := flag.String("asm", "", "assemble this source file")
-	out := flag.String("o", "", "output image path for -asm (default: stdout hex)")
+	out := flag.String("o", "", "output image path for -asm/-hdl (default: stdout)")
 	dis := flag.String("dis", "", "disassemble this image file")
 	run := flag.String("run", "", "assemble and execute this source file")
-	data := flag.String("data", "", "stream data file for -run")
+	hdlSrc := flag.String("hdl", "", "compile this HDL handler source file (see HANDLERS.md)")
+	data := flag.String("data", "", "stream data file for -run / the -hdl dry run")
 	regs := regFlags{}
 	flag.Var(regs, "reg", "initial register, rN=value (repeatable)")
+	params := paramFlags{}
+	flag.Var(params, "param", "HDL handler parameter, name=value (repeatable)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -124,6 +153,58 @@ func main() {
 		}
 		// At 500 MHz, one cycle is 2 ns.
 		fmt.Printf("switch-CPU time at 500 MHz: %.3f us\n", float64(env.Cycles)*2e-3)
+
+	case *hdlSrc != "":
+		src, err := os.ReadFile(*hdlSrc)
+		if err != nil {
+			fail(err)
+		}
+		c, err := hdl.Compile(string(src))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("handler %s: %d instructions\n", c.AST.Name, len(c.Prog.Instrs))
+		if *out != "" {
+			img, err := svm.EncodeProgram(c.Prog)
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*out, img, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", *out, len(img))
+		} else {
+			fmt.Print(c.Asm)
+		}
+		if *data != "" {
+			stream, err := os.ReadFile(*data)
+			if err != nil {
+				fail(err)
+			}
+			const base = 0x10_0000
+			compiled, err := hdl.RunSlice(c, stream, base, params)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("executed: %d cycles charged, %d words emitted\n",
+				compiled.Cycles, len(compiled.Out))
+			for i, v := range compiled.Out {
+				fmt.Printf("emit[%d] = %d (%#x)\n", i, v, v)
+			}
+			vars := make([]string, 0, len(compiled.Vars))
+			for name := range compiled.Vars {
+				vars = append(vars, name)
+			}
+			sort.Strings(vars)
+			for _, name := range vars {
+				fmt.Printf("var %s = %d (%#x)\n", name, compiled.Vars[name], compiled.Vars[name])
+			}
+			ref := hdl.Interpret(c.AST, stream, base, params)
+			if err := hdl.Diff(compiled, ref); err != nil {
+				fail(fmt.Errorf("compiled run diverges from the reference interpreter: %w", err))
+			}
+			fmt.Println("reference interpreter agrees (outputs, vars, cycles, deallocs)")
+		}
 
 	default:
 		flag.Usage()

@@ -1,6 +1,7 @@
 // Package cliflags is the flag wiring shared by cmd/activesim and
 // cmd/sansweep: output paths (metrics, traces, pprof profiles), the
-// fault-injection plan, and the collective topology selector.
+// fault-injection plan, the collective topology selector, and the
+// -handler-src HDL handler loader.
 // Both commands declare the same flags with the same
 // semantics; this package keeps them from drifting and gives their values
 // one validated Setup path with helpful errors instead of two copies of the
@@ -17,6 +18,7 @@ import (
 
 	"activesan/internal/cluster"
 	"activesan/internal/fault"
+	"activesan/internal/hdl"
 	"activesan/internal/metrics"
 	"activesan/internal/prof"
 	"activesan/internal/sim"
@@ -32,6 +34,7 @@ type Common struct {
 	Faults     string
 	FaultSeed  uint64
 	Topology   string
+	HandlerSrc string
 }
 
 // Register declares the shared flags on the default flag set. Call before
@@ -50,6 +53,8 @@ func Register() *Common {
 	flag.Uint64Var(&c.FaultSeed, "fault-seed", 0, "override the fault plan's PRNG seed (requires -faults)")
 	flag.StringVar(&c.Topology, "topology", "tree",
 		"collective topology: tree (the paper's reduction tree), fattree, or fattree:K (see TOPOLOGIES.md)")
+	flag.StringVar(&c.HandlerSrc, "handler-src", "",
+		"compile this HDL handler source file and add it to the hdlsweep experiment (see HANDLERS.md)")
 	return c
 }
 
@@ -92,6 +97,17 @@ func (c *Common) Setup() (cleanup func(), err error) {
 			return noop, fmt.Errorf("-faults: %w", err)
 		}
 		fault.SetDefault(plan, c.FaultSeed)
+	}
+	if c.HandlerSrc != "" {
+		src, err := os.ReadFile(c.HandlerSrc)
+		if err != nil {
+			return noop, fmt.Errorf("-handler-src: %w", err)
+		}
+		compiled, err := hdl.Compile(string(src))
+		if err != nil {
+			return noop, fmt.Errorf("-handler-src: %w", err)
+		}
+		hdl.SetExtra(compiled)
 	}
 	if c.MetricsOut != "" {
 		// Fail on an unwritable directory now, not after the simulation.

@@ -8,6 +8,7 @@ import (
 
 	"activesan/internal/cluster"
 	"activesan/internal/fault"
+	"activesan/internal/hdl"
 )
 
 func TestSetupRejectsSeedWithoutPlan(t *testing.T) {
@@ -92,6 +93,44 @@ func TestSetupRejectsBadTopology(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "-topology") {
 			t.Errorf("-topology=%q: err = %v, want a -topology complaint", v, err)
 		}
+	}
+}
+
+func TestSetupCompilesHandlerSrc(t *testing.T) {
+	defer hdl.SetExtra(nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fold.hdl")
+	src := "handler fold {\n\tvar acc\n\ton word x {\n\t\tacc = acc ^ x\n\t}\n\tend {\n\t\temit acc\n\t}\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &Common{HandlerSrc: path}
+	cleanup, err := c.Setup()
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	defer cleanup()
+	x := hdl.Extra()
+	if x == nil || x.AST.Name != "fold" {
+		t.Fatalf("Extra() = %v, want the compiled fold handler installed", x)
+	}
+}
+
+func TestSetupRejectsBadHandlerSrc(t *testing.T) {
+	defer hdl.SetExtra(nil)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.hdl")
+	os.WriteFile(bad, []byte("handler broken {\n\ton word x { y = 1 }\n}\n"), 0o644)
+	for _, path := range []string{bad, filepath.Join(dir, "absent.hdl")} {
+		c := &Common{HandlerSrc: path}
+		cleanup, err := c.Setup()
+		cleanup()
+		if err == nil || !strings.HasPrefix(err.Error(), "-handler-src:") {
+			t.Errorf("HandlerSrc=%q: err = %v, want a -handler-src-prefixed error", path, err)
+		}
+	}
+	if hdl.Extra() != nil {
+		t.Error("a rejected handler source still installed an extra handler")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"activesan/internal/apps/faultsweep"
 	"activesan/internal/apps/grep"
 	"activesan/internal/apps/hashjoin"
+	"activesan/internal/apps/hdlsweep"
 	"activesan/internal/apps/md5app"
 	"activesan/internal/apps/mpeg"
 	"activesan/internal/apps/psort"
@@ -189,6 +190,19 @@ var Registry = []Experiment{
 				prm.HostCounts = []int{4, 8, 16}
 			}
 			return scalesweep.RunAll(prm)
+		},
+	},
+	{
+		ID:    "hdlsweep",
+		Paper: "Extension (handler authoring)",
+		Title: "HDL handlers: compiled-on-switch vs host interpreter",
+		Run: func(scale int64) *stats.Result {
+			prm := hdlsweep.DefaultParams()
+			prm.StreamBytes /= clampScale(scale)
+			if prm.StreamBytes < 16<<10 {
+				prm.StreamBytes = 16 << 10
+			}
+			return hdlsweep.RunAll(prm)
 		},
 	},
 	{
@@ -399,6 +413,19 @@ func Shapes(res *stats.Result) []string {
 		}
 		if sp != nil {
 			add("max speedup %.2fx over the host MST", sp.MaxY())
+		}
+	case "hdlsweep":
+		if len(res.Series) == 2 && len(res.Series[0].Y) > 0 {
+			act, pass := res.Series[0], res.Series[1]
+			best := 0.0
+			for i := range act.Y {
+				if act.Y[i] > 0 {
+					if r := pass.Y[i] / act.Y[i]; r > best {
+						best = r
+					}
+				}
+			}
+			add("best compiled-on-switch speedup %.2fx over the host interpreter (extension: not in the paper)", best)
 		}
 	case "faultsweep":
 		for _, s := range res.Series {

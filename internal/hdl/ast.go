@@ -1,0 +1,315 @@
+// Package hdl is the switch-handler description language: a small
+// declarative language for data-plane handlers — match on stream and record
+// fields, keep stateful per-handler registers, and emit / steer / aggregate
+// / drop — compiled to the embedded switch processor's ISA (internal/svm).
+//
+// The package follows the Packet Transactions argument (PAPERS.md): handlers
+// should be written against a high-level transactional model and compiled to
+// the switch target, with the compiler verified by differential execution
+// against a reference interpreter on the very simulator the handlers run on.
+// Three executable artifacts share one AST:
+//
+//   - Compile translates a checked program to svm assembly whose cycle cost
+//     is a deterministic function of the AST (HANDLERS.md documents the
+//     per-construct instruction counts).
+//   - Interpret executes the AST directly in Go, charging the same
+//     documented costs through an independent implementation.
+//   - Gen builds random well-typed programs from a seed, so the two
+//     executions can be compared over arbitrary (program, packet stream)
+//     pairs — outputs, final register state, deallocation schedule and
+//     charged cycles must all agree.
+//
+// A program processes one mapped stream in fixed-size units and then runs a
+// final stage:
+//
+//	; count records whose key byte is under a threshold
+//	handler select {
+//	    param threshold        ; bound to a register at launch
+//	    var count              ; stateful register, starts at 0
+//	    on record 16 {
+//	        if b[0] < threshold {
+//	            count = count + 1
+//	        }
+//	    }
+//	    end {
+//	        emit count
+//	    }
+//	}
+//
+// See HANDLERS.md for the grammar, the compilation model and the cost rules.
+package hdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnitMode selects how the on-stage walks the stream.
+type UnitMode int
+
+// Stream units: single bytes, little-endian 32-bit words, or fixed-size
+// records addressed by byte/word fields.
+const (
+	UnitByte UnitMode = iota
+	UnitWord
+	UnitRecord
+)
+
+// Program is one parsed handler.
+type Program struct {
+	// Name is the handler's identifier.
+	Name string
+	// Params are launch-time inputs, bound to registers by the runner.
+	Params []string
+	// Vars are the handler's stateful registers, in declaration order.
+	Vars []VarDecl
+	// Consts are named compile-time constants.
+	Consts []ConstDecl
+	// On is the per-unit stream stage (nil when the handler has none).
+	On *OnStage
+	// End is the final stage's body; HasEnd distinguishes an empty end
+	// block from an absent one.
+	End    []Stmt
+	HasEnd bool
+}
+
+// VarDecl declares one stateful register.
+type VarDecl struct {
+	Name string
+	// Init is the activation-time initial value; HasInit distinguishes
+	// "var x = 0" (an explicit, charged initialization) from "var x"
+	// (whatever the launch registers hold, zero by default).
+	Init    int64
+	HasInit bool
+}
+
+// ConstDecl binds a name to a compile-time constant.
+type ConstDecl struct {
+	Name  string
+	Value int64
+}
+
+// OnStage is the per-unit stream loop.
+type OnStage struct {
+	Mode UnitMode
+	// Unit names the current byte/word in byte and word modes.
+	Unit string
+	// Size is the unit size in bytes (1 for byte, 4 for word, the declared
+	// record size otherwise).
+	Size int
+	Body []Stmt
+	Line int
+}
+
+// Stmt is one statement.
+type Stmt interface{ stmtLine() int }
+
+// Assign stores an expression into a var.
+type Assign struct {
+	Name string
+	X    Expr
+	Line int
+}
+
+// If branches on a comparison.
+type If struct {
+	Cond    Cond
+	Then    []Stmt
+	Else    []Stmt
+	HasElse bool
+	Line    int
+}
+
+// Emit appends a data word to the handler's output vector.
+type Emit struct {
+	X    Expr
+	Line int
+}
+
+// Steer appends a steering decision word (a port / destination choice) to
+// the output vector; it compiles identically to Emit and differs only in
+// what the surrounding system does with the word.
+type Steer struct {
+	X    Expr
+	Line int
+}
+
+// Drop abandons the current unit: control jumps to the loop's continue
+// point (the unit is still deallocated). Only valid inside the on-stage.
+type Drop struct {
+	Line int
+}
+
+func (s *Assign) stmtLine() int { return s.Line }
+func (s *If) stmtLine() int     { return s.Line }
+func (s *Emit) stmtLine() int   { return s.Line }
+func (s *Steer) stmtLine() int  { return s.Line }
+func (s *Drop) stmtLine() int   { return s.Line }
+
+// RelOp is a comparison operator. All comparisons are signed 32-bit.
+type RelOp int
+
+// Comparison operators.
+const (
+	RelEq RelOp = iota
+	RelNe
+	RelLt
+	RelLe
+	RelGt
+	RelGe
+)
+
+var relNames = map[RelOp]string{
+	RelEq: "==", RelNe: "!=", RelLt: "<", RelLe: "<=", RelGt: ">", RelGe: ">=",
+}
+
+func (o RelOp) String() string { return relNames[o] }
+
+// Cond is a comparison between two expressions.
+type Cond struct {
+	L  Expr
+	Op RelOp
+	R  Expr
+}
+
+// BinOp is an arithmetic/logical operator. All arithmetic is wrapping
+// 32-bit; >> is a logical (unsigned) shift.
+type BinOp int
+
+// Binary operators. Mul/Shl/Shr bind tighter than the additive group.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpOr
+	OpXor
+	OpAnd
+	OpMul
+	OpShl
+	OpShr
+)
+
+var binNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpOr: "|", OpXor: "^", OpAnd: "&",
+	OpMul: "*", OpShl: "<<", OpShr: ">>",
+}
+
+func (o BinOp) String() string { return binNames[o] }
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// Num is an integer literal. Values must fit 32 bits (signed or unsigned).
+type Num struct {
+	V    int64
+	Line int
+}
+
+// Ref names a var, param, const, or the on-stage unit.
+type Ref struct {
+	Name string
+	Line int
+}
+
+// Field reads a byte (b[k]) or little-endian word (w[k]) at offset k of the
+// current unit. Only valid inside the on-stage, bounds-checked against the
+// unit size.
+type Field struct {
+	Word bool
+	Off  int
+	Line int
+}
+
+// Bin applies a binary operator. For Shl/Shr the right operand must be a
+// constant expression in 0..31.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+	Line int
+}
+
+func (e *Num) exprLine() int   { return e.Line }
+func (e *Ref) exprLine() int   { return e.Line }
+func (e *Field) exprLine() int { return e.Line }
+func (e *Bin) exprLine() int   { return e.Line }
+
+// Render writes the program back as canonical source text that parses to an
+// equivalent AST — the generator emits source through it so every random
+// program also exercises the parser.
+func (p *Program) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "handler %s {\n", p.Name)
+	for _, c := range p.Consts {
+		fmt.Fprintf(&b, "\tconst %s = %d\n", c.Name, c.Value)
+	}
+	for _, prm := range p.Params {
+		fmt.Fprintf(&b, "\tparam %s\n", prm)
+	}
+	for _, v := range p.Vars {
+		if v.HasInit {
+			fmt.Fprintf(&b, "\tvar %s = %d\n", v.Name, v.Init)
+		} else {
+			fmt.Fprintf(&b, "\tvar %s\n", v.Name)
+		}
+	}
+	if p.On != nil {
+		switch p.On.Mode {
+		case UnitByte:
+			fmt.Fprintf(&b, "\ton byte %s {\n", p.On.Unit)
+		case UnitWord:
+			fmt.Fprintf(&b, "\ton word %s {\n", p.On.Unit)
+		default:
+			fmt.Fprintf(&b, "\ton record %d {\n", p.On.Size)
+		}
+		renderStmts(&b, p.On.Body, 2)
+		b.WriteString("\t}\n")
+	}
+	if p.HasEnd {
+		b.WriteString("\tend {\n")
+		renderStmts(&b, p.End, 2)
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func renderStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("\t", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", ind, s.Name, renderExpr(s.X))
+		case *Emit:
+			fmt.Fprintf(b, "%semit %s\n", ind, renderExpr(s.X))
+		case *Steer:
+			fmt.Fprintf(b, "%ssteer %s\n", ind, renderExpr(s.X))
+		case *Drop:
+			fmt.Fprintf(b, "%sdrop\n", ind)
+		case *If:
+			fmt.Fprintf(b, "%sif %s %s %s {\n", ind,
+				renderExpr(s.Cond.L), s.Cond.Op, renderExpr(s.Cond.R))
+			renderStmts(b, s.Then, depth+1)
+			if s.HasElse {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				renderStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		}
+	}
+}
+
+func renderExpr(e Expr) string {
+	switch e := e.(type) {
+	case *Num:
+		return fmt.Sprintf("%d", e.V)
+	case *Ref:
+		return e.Name
+	case *Field:
+		if e.Word {
+			return fmt.Sprintf("w[%d]", e.Off)
+		}
+		return fmt.Sprintf("b[%d]", e.Off)
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", renderExpr(e.L), e.Op, renderExpr(e.R))
+	}
+	return "?"
+}

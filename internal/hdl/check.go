@@ -1,0 +1,249 @@
+package hdl
+
+// Compiler limits, fixed by the register map (HANDLERS.md): vars live in
+// r8..r15, params in r16..r23, expression scratch in r24..r30.
+const (
+	// MaxVars is the number of var registers.
+	MaxVars = 8
+	// MaxParams is the number of param registers.
+	MaxParams = 8
+	// MaxScratch is the expression evaluation stack depth.
+	MaxScratch = 7
+	// MaxRecordSize bounds the record unit (the paper's 512-byte MTU).
+	MaxRecordSize = 512
+)
+
+// symKind classifies a name.
+type symKind int
+
+const (
+	symVar symKind = iota
+	symParam
+	symConst
+	symUnit
+)
+
+type symbol struct {
+	kind symKind
+	val  int64 // symConst
+}
+
+// Check runs every semantic check on a parsed program. Parse calls it;
+// it is exported so tools holding a hand-built AST can validate it too.
+func Check(p *Program) error {
+	c := &checker{syms: make(map[string]*symbol)}
+	declare := func(name string, line int, kind symKind, val int64) error {
+		if name == "b" || name == "w" {
+			return errf(line, "%q is reserved for field access", name)
+		}
+		if _, dup := c.syms[name]; dup {
+			return errf(line, "duplicate name %q", name)
+		}
+		c.syms[name] = &symbol{kind: kind, val: val}
+		return nil
+	}
+	for _, cd := range p.Consts {
+		if !fits32(cd.Value) {
+			return errf(1, "constant %d does not fit 32 bits", cd.Value)
+		}
+		if err := declare(cd.Name, 1, symConst, cd.Value); err != nil {
+			return err
+		}
+	}
+	if len(p.Params) > MaxParams {
+		return errf(1, "%d params; the compiler maps at most %d to registers", len(p.Params), MaxParams)
+	}
+	for _, prm := range p.Params {
+		if err := declare(prm, 1, symParam, 0); err != nil {
+			return err
+		}
+	}
+	if len(p.Vars) > MaxVars {
+		return errf(1, "%d vars; the compiler maps at most %d to registers", len(p.Vars), MaxVars)
+	}
+	for _, v := range p.Vars {
+		if v.HasInit && !fits32(v.Init) {
+			return errf(1, "constant %d does not fit 32 bits", v.Init)
+		}
+		if err := declare(v.Name, 1, symVar, 0); err != nil {
+			return err
+		}
+	}
+	if p.On == nil && !p.HasEnd {
+		return errf(1, "handler has no stages")
+	}
+	if p.On != nil {
+		c.on = p.On
+		if p.On.Unit != "" {
+			if err := declare(p.On.Unit, p.On.Line, symUnit, 0); err != nil {
+				return err
+			}
+		}
+		if err := c.stmts(p.On.Body); err != nil {
+			return err
+		}
+		c.on = nil
+		if p.On.Unit != "" {
+			delete(c.syms, p.On.Unit)
+		}
+	}
+	return c.stmts(p.End)
+}
+
+// fits32 accepts any value representable in 32 bits, signed or unsigned.
+func fits32(v int64) bool { return v >= -(1<<31) && v < 1<<32 }
+
+type checker struct {
+	syms map[string]*symbol
+	on   *OnStage // non-nil while checking the on-stage body
+}
+
+func (c *checker) stmts(body []Stmt) error {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *Assign:
+			sym, ok := c.syms[s.Name]
+			if !ok {
+				return errf(s.Line, "undefined name %q", s.Name)
+			}
+			switch sym.kind {
+			case symParam:
+				return errf(s.Line, "cannot assign to parameter %q", s.Name)
+			case symConst:
+				return errf(s.Line, "cannot assign to constant %q", s.Name)
+			case symUnit:
+				return errf(s.Line, "cannot assign to the unit %q", s.Name)
+			}
+			if err := c.expr(s.X); err != nil {
+				return err
+			}
+		case *Emit:
+			if err := c.expr(s.X); err != nil {
+				return err
+			}
+		case *Steer:
+			if err := c.expr(s.X); err != nil {
+				return err
+			}
+		case *Drop:
+			if c.on == nil {
+				return errf(s.Line, "drop outside the on-stage")
+			}
+		case *If:
+			if err := c.expr(s.Cond.L); err != nil {
+				return err
+			}
+			if err := c.expr(s.Cond.R); err != nil {
+				return err
+			}
+			if d := condDepth(s.Cond); d > MaxScratch {
+				return errf(s.Line, "expression needs %d scratch registers; the compiler has %d", d, MaxScratch)
+			}
+			if err := c.stmts(s.Then); err != nil {
+				return err
+			}
+			if err := c.stmts(s.Else); err != nil {
+				return err
+			}
+		}
+		// Every statement-level expression must fit the scratch stack.
+		if x, line := stmtExpr(s); x != nil {
+			if d := exprDepth(x); d > MaxScratch {
+				return errf(line, "expression needs %d scratch registers; the compiler has %d", d, MaxScratch)
+			}
+		}
+	}
+	return nil
+}
+
+// stmtExpr returns a statement's top-level expression, if it has one.
+func stmtExpr(s Stmt) (Expr, int) {
+	switch s := s.(type) {
+	case *Assign:
+		return s.X, s.Line
+	case *Emit:
+		return s.X, s.Line
+	case *Steer:
+		return s.X, s.Line
+	}
+	return nil, 0
+}
+
+func (c *checker) expr(e Expr) error {
+	switch e := e.(type) {
+	case *Num:
+		if !fits32(e.V) {
+			return errf(e.Line, "constant %d does not fit 32 bits", e.V)
+		}
+	case *Ref:
+		if _, ok := c.syms[e.Name]; !ok {
+			return errf(e.Line, "undefined name %q", e.Name)
+		}
+	case *Field:
+		if c.on == nil {
+			return errf(e.Line, "field access outside the on-stage")
+		}
+		size := 1
+		name := "b"
+		if e.Word {
+			size, name = 4, "w"
+		}
+		if e.Off < 0 || e.Off+size > c.on.Size {
+			return errf(e.Line, "field %s[%d] outside the %d-byte unit", name, e.Off, c.on.Size)
+		}
+	case *Bin:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if e.Op == OpShl || e.Op == OpShr {
+			v, ok := c.constVal(e.R)
+			if !ok || v < 0 || v > 31 {
+				return errf(e.Line, "shift amount must be a constant in 0..31")
+			}
+			return nil
+		}
+		return c.expr(e.R)
+	}
+	return nil
+}
+
+// constVal resolves an expression that must be compile-time constant:
+// a literal or a const reference.
+func (c *checker) constVal(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *Num:
+		return e.V, true
+	case *Ref:
+		if sym, ok := c.syms[e.Name]; ok && sym.kind == symConst {
+			return sym.val, true
+		}
+	}
+	return 0, false
+}
+
+// exprDepth is the number of scratch registers evaluation needs: leaves
+// take one slot; a binary operator holds its left value while the right
+// evaluates one slot higher; shifts evaluate only their left operand.
+func exprDepth(e Expr) int {
+	switch e := e.(type) {
+	case *Bin:
+		if e.Op == OpShl || e.Op == OpShr {
+			return exprDepth(e.L)
+		}
+		return max(exprDepth(e.L), exprDepth(e.R)+1)
+	default:
+		return 1
+	}
+}
+
+// condDepth: the left value is held while the right evaluates above it.
+func condDepth(c Cond) int {
+	return max(exprDepth(c.L), exprDepth(c.R)+1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package hdl
+
+import "testing"
+
+// Satellite: exact error text for every type-checker diagnostic. These
+// strings are part of the tool's user interface; a change here should be a
+// deliberate decision, not a drive-by.
+func TestCheckerDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"reserved name",
+			`handler h { var b end { emit 0 } }`,
+			`hdl: line 1: "b" is reserved for field access`,
+		},
+		{
+			"duplicate name",
+			`handler h { var x var x end { emit 0 } }`,
+			`hdl: line 1: duplicate name "x"`,
+		},
+		{
+			"param var collision",
+			`handler h { param x var x end { emit 0 } }`,
+			`hdl: line 1: duplicate name "x"`,
+		},
+		{
+			"const too wide",
+			`handler h { const c = 4294967296 end { emit c } }`,
+			`hdl: line 1: constant 4294967296 does not fit 32 bits`,
+		},
+		{
+			"too many vars",
+			"handler h { var a var c var d var e var f var g var i var j var k end { emit 0 } }",
+			`hdl: line 1: 9 vars; the compiler maps at most 8 to registers`,
+		},
+		{
+			"too many params",
+			"handler h { param a param c param d param e param f param g param i param j param k end { emit 0 } }",
+			`hdl: line 1: 9 params; the compiler maps at most 8 to registers`,
+		},
+		{
+			"no stages",
+			`handler h { var x }`,
+			`hdl: line 1: handler has no stages`,
+		},
+		{
+			"undefined name",
+			`handler h { end { emit nope } }`,
+			`hdl: line 1: undefined name "nope"`,
+		},
+		{
+			"assign to param",
+			`handler h { param p end { p = 1 } }`,
+			`hdl: line 1: cannot assign to parameter "p"`,
+		},
+		{
+			"assign to const",
+			`handler h { const c = 1 end { c = 2 } }`,
+			`hdl: line 1: cannot assign to constant "c"`,
+		},
+		{
+			"assign to unit",
+			`handler h { on byte u { u = 1 } }`,
+			`hdl: line 1: cannot assign to the unit "u"`,
+		},
+		{
+			"drop outside on-stage",
+			`handler h { end { drop } }`,
+			`hdl: line 1: drop outside the on-stage`,
+		},
+		{
+			"field outside on-stage",
+			`handler h { end { emit b[0] } }`,
+			`hdl: line 1: field access outside the on-stage`,
+		},
+		{
+			"byte field out of unit",
+			`handler h { on record 8 { emit b[8] } }`,
+			`hdl: line 1: field b[8] outside the 8-byte unit`,
+		},
+		{
+			"word field straddles unit",
+			`handler h { on record 8 { emit w[5] } }`,
+			`hdl: line 1: field w[5] outside the 8-byte unit`,
+		},
+		{
+			"variable shift amount",
+			`handler h { var x end { emit 1 << x } }`,
+			`hdl: line 1: shift amount must be a constant in 0..31`,
+		},
+		{
+			"oversized shift amount",
+			`handler h { end { emit 1 << 32 } }`,
+			`hdl: line 1: shift amount must be a constant in 0..31`,
+		},
+		{
+			"expression too deep",
+			`handler h { var x end { x = 1+(1+(1+(1+(1+(1+(1+1)))))) } }`,
+			`hdl: line 1: expression needs 8 scratch registers; the compiler has 7`,
+		},
+		{
+			"unit scope ends with the on-stage",
+			`handler h { on byte u { emit u } end { emit u } }`,
+			`hdl: line 1: undefined name "u"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("parsed without error, want %q", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// The deepest expression the scratch window allows must still compile and
+// run; only one level beyond it errors.
+func TestScratchDepthBoundary(t *testing.T) {
+	ok := `handler h { var x end { x = 1+(1+(1+(1+(1+(1+1))))) emit x } }`
+	c, err := Compile(ok)
+	if err != nil {
+		t.Fatalf("depth-7 expression rejected: %v", err)
+	}
+	got, err := RunSlice(c, nil, DiffBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Out[0] != 7 {
+		t.Fatalf("depth-7 sum = %d, want 7", got.Out[0])
+	}
+	want := Interpret(c.AST, nil, DiffBase, nil)
+	if err := Diff(got, want); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package hdl
+
+import (
+	"fmt"
+
+	"activesan/internal/svm"
+)
+
+// Differential execution: the same program runs through the compiler + VM
+// and through the reference interpreter, and every observable — emitted
+// words, final var state, charged cycles, deallocation schedule — must
+// match. RunSlice is the compiled side; DiffSeed drives one seeded
+// (program, stream, params) trial end to end.
+
+// DiffBase is where differential streams are mapped; anything at or above
+// it is stream, below is private memory (compiled HDL never touches the
+// latter).
+const DiffBase = 0x1000
+
+// RunSlice executes a compiled handler over an in-memory stream on the VM
+// and returns the same trace shape the interpreter produces. On the VM
+// side Cycles is the executed-instruction count: SliceEnv charges one
+// cycle per instruction, which is what the interpreter's cost model must
+// reproduce.
+func RunSlice(c *Compiled, stream []byte, base int64, params map[string]uint32) (*ExecTrace, error) {
+	init, err := c.InitRegs(base, int64(len(stream)), params, nil)
+	if err != nil {
+		return nil, err
+	}
+	env := svm.NewSliceEnv(base, stream)
+	m := svm.NewMachine(env, c.Prog, init)
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	t := &ExecTrace{
+		Out:      env.Out,
+		Vars:     make(map[string]uint32, len(c.VarReg)),
+		Cycles:   env.Cycles,
+		Deallocs: env.Deallocs,
+	}
+	for name, r := range c.VarReg {
+		t.Vars[name] = res.Regs[r]
+	}
+	return t, nil
+}
+
+// Diff compares two traces and describes the first divergence; nil means
+// the executions agree on every observable.
+func Diff(compiled, interp *ExecTrace) error {
+	if len(compiled.Out) != len(interp.Out) {
+		return fmt.Errorf("output length: compiled emitted %d words, interpreter %d",
+			len(compiled.Out), len(interp.Out))
+	}
+	for i := range compiled.Out {
+		if compiled.Out[i] != interp.Out[i] {
+			return fmt.Errorf("output word %d: compiled %#x, interpreter %#x",
+				i, compiled.Out[i], interp.Out[i])
+		}
+	}
+	for name, cv := range compiled.Vars {
+		if iv, ok := interp.Vars[name]; !ok || iv != cv {
+			return fmt.Errorf("var %s: compiled %#x, interpreter %#x", name, cv, iv)
+		}
+	}
+	for name := range interp.Vars {
+		if _, ok := compiled.Vars[name]; !ok {
+			return fmt.Errorf("var %s: missing from the compiled trace", name)
+		}
+	}
+	if compiled.Cycles != interp.Cycles {
+		return fmt.Errorf("cycles: compiled charged %d, interpreter %d",
+			compiled.Cycles, interp.Cycles)
+	}
+	if len(compiled.Deallocs) != len(interp.Deallocs) {
+		return fmt.Errorf("dealloc count: compiled %d, interpreter %d",
+			len(compiled.Deallocs), len(interp.Deallocs))
+	}
+	for i := range compiled.Deallocs {
+		if compiled.Deallocs[i] != interp.Deallocs[i] {
+			return fmt.Errorf("dealloc %d: compiled released up to %#x, interpreter %#x",
+				i, compiled.Deallocs[i], interp.Deallocs[i])
+		}
+	}
+	return nil
+}
+
+// DiffSeed runs one differential trial: generate a program and stream from
+// the seed, compile the program's *rendered source* (so the lexer, parser
+// and checker sit inside the tested pipeline), interpret the original AST,
+// and compare. The returned error describes the divergence, with enough
+// context to reproduce it from the seed alone.
+func DiffSeed(seed uint64) error {
+	prog := GenProgram(seed)
+	stream := GenStream(seed ^ 0x9e3779b97f4a7c15)
+	params := GenParams(prog, seed^0xbf58476d1ce4e5b9)
+
+	c, err := Compile(prog.Render())
+	if err != nil {
+		return fmt.Errorf("seed %#x: generated program does not compile: %w\n%s", seed, err, prog.Render())
+	}
+	compiled, err := RunSlice(c, stream, DiffBase, params)
+	if err != nil {
+		return fmt.Errorf("seed %#x: compiled run failed: %w\n%s", seed, err, c.Asm)
+	}
+	ref := Interpret(prog, stream, DiffBase, params)
+	if err := Diff(compiled, ref); err != nil {
+		return fmt.Errorf("seed %#x (stream %d bytes): %w\nsource:\n%s\nassembly:\n%s",
+			seed, len(stream), err, prog.Render(), c.Asm)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package hdl
+
+import (
+	"reflect"
+	"testing"
+
+	"activesan/internal/svm"
+)
+
+// TestDifferentialSeeded is the core harness: ≥500 seeded random (program,
+// packet-stream, params) pairs in -short mode, each executed through the
+// compiler + VM and through the reference interpreter, with zero tolerated
+// divergence in outputs, register state, cycle charges, or deallocation
+// schedules. The full run covers 4× more seeds.
+func TestDifferentialSeeded(t *testing.T) {
+	trials := 2000
+	if testing.Short() {
+		trials = 500
+	}
+	for seed := 0; seed < trials; seed++ {
+		if err := DiffSeed(uint64(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDifferentialHandWritten pins the harness on the library handlers too:
+// hand-written HDL must agree between the two executions just like
+// generated programs.
+func TestDifferentialHandWritten(t *testing.T) {
+	for _, tc := range []struct {
+		src    string
+		params map[string]uint32
+	}{
+		{SelectHDL, map[string]uint32{"threshold": 64}},
+		{SumHDL, nil},
+		{MinMaxHDL, nil},
+	} {
+		c, err := Compile(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for streamSeed := uint64(0); streamSeed < 20; streamSeed++ {
+			stream := GenStream(streamSeed)
+			got, err := RunSlice(c, stream, DiffBase, tc.params)
+			if err != nil {
+				t.Fatalf("%s: %v", c.AST.Name, err)
+			}
+			want := Interpret(c.AST, stream, DiffBase, tc.params)
+			if err := Diff(got, want); err != nil {
+				t.Fatalf("%s (stream seed %d): %v", c.AST.Name, streamSeed, err)
+			}
+		}
+	}
+}
+
+// TestRenderRoundTrip: the canonical rendering of a parsed program parses
+// back to a program with the same rendering (the generator relies on this
+// to push random programs through the parser).
+func TestRenderRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := GenProgram(seed)
+		src := p.Render()
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: rendered program does not parse: %v\n%s", seed, err, src)
+		}
+		if got := q.Render(); got != src {
+			t.Fatalf("seed %d: render not a fixed point\nfirst:\n%s\nsecond:\n%s", seed, src, got)
+		}
+	}
+}
+
+// TestCompiledEncodable: every compiled random program must survive the
+// binary encoding round-trip — this is the property the hand-picked cases
+// in svm/encoding_test.go cannot give.
+func TestCompiledEncodable(t *testing.T) {
+	trials := 500
+	if testing.Short() {
+		trials = 200
+	}
+	for seed := uint64(0); seed < uint64(trials); seed++ {
+		p := GenProgram(seed)
+		c, err := CompileAST(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		enc, err := svm.EncodeProgram(c.Prog)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v\n%s", seed, err, c.Asm)
+		}
+		dec, err := svm.DecodeProgram(enc)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(dec.Instrs, c.Prog.Instrs) {
+			t.Fatalf("seed %d: instructions changed across the encoding round-trip", seed)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the front end: parsing must never
+// panic, and anything accepted must render to canonical source that parses
+// again, renders identically, and compiles (or is rejected only for
+// exceeding the encodable program size).
+func FuzzParse(f *testing.F) {
+	f.Add(SelectHDL)
+	f.Add(SumHDL)
+	f.Add(MinMaxHDL)
+	f.Add("handler h { end { emit 1 } }")
+	f.Add("handler h { on byte u { drop } }")
+	f.Add("handler h { const c = 0xFF param p var x = -9 on record 12 { if w[4] >= p { x = x + (b[0] << 3) } else { steer c } } end { emit x } }")
+	f.Add("handler h { on word u { emit u * u } }")
+	f.Add("; comment\nhandler h{end{emit((1+2)*3)}}")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "hdl: line ") {
+				t.Fatalf("error without position: %v", err)
+			}
+			return
+		}
+		canon := p.Render()
+		q, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical rendering does not re-parse: %v\n%s", err, canon)
+		}
+		if got := q.Render(); got != canon {
+			t.Fatalf("render not a fixed point\nfirst:\n%s\nsecond:\n%s", canon, got)
+		}
+		if _, err := CompileAST(p); err != nil &&
+			!strings.Contains(err.Error(), "the binary encoding caps programs") {
+			t.Fatalf("checked program failed to compile: %v", err)
+		}
+	})
+}
+
+// FuzzDiff turns the fuzzer loose on the differential harness itself: any
+// seed must produce a program whose compiled and interpreted executions
+// agree on every observable.
+func FuzzDiff(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(42))
+	f.Add(uint64(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if err := DiffSeed(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

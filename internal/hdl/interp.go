@@ -1,0 +1,264 @@
+package hdl
+
+import "encoding/binary"
+
+// ExecTrace is one handler execution's observable behaviour — everything the
+// differential harness compares between the interpreter and the compiled
+// program on a Machine.
+type ExecTrace struct {
+	// Out is the emitted word sequence (emit and steer both append here,
+	// exactly as the compiled program's EMIT does).
+	Out []uint32
+	// Vars holds each declared var's final value.
+	Vars map[string]uint32
+	// Cycles is the charged cycle count. The interpreter charges the
+	// documented per-construct costs (HANDLERS.md); on the compiled side
+	// every instruction costs one cycle, so the two totals must agree.
+	Cycles int64
+	// Deallocs is the stream deallocation schedule: the end address passed
+	// to each dealloc, in order.
+	Deallocs []int64
+}
+
+// Interpret executes a checked program directly over an in-memory stream
+// mapped at base, with params bound by name. It is an independent
+// implementation of the language semantics — a tree walk in Go, written
+// against HANDLERS.md rather than against the compiler — so divergence from
+// the compiled program indicates a bug in one of the two.
+//
+// All arithmetic wraps at 32 bits; comparisons (including the stream-bounds
+// check) are signed 32-bit, matching the switch ISA.
+func Interpret(p *Program, stream []byte, base int64, params map[string]uint32) *ExecTrace {
+	in := &interp{
+		prog:   p,
+		stream: stream,
+		base:   base,
+		params: params,
+		vars:   make(map[string]uint32, len(p.Vars)),
+		consts: make(map[string]int64, len(p.Consts)),
+		trace:  &ExecTrace{Vars: make(map[string]uint32, len(p.Vars))},
+	}
+	for _, c := range p.Consts {
+		in.consts[c.Name] = c.Value
+	}
+	// Prologue: explicit var initializations are charged; bare vars start
+	// at whatever the launch registers hold — zero here.
+	for _, v := range p.Vars {
+		in.vars[v.Name] = 0
+		if v.HasInit {
+			in.charge(ConstCycles(v.Init))
+			in.vars[v.Name] = uint32(v.Init)
+		}
+	}
+	if on := p.On; on != nil {
+		in.runLoop(on)
+	}
+	in.stmts(p.End)
+	in.charge(1) // stop
+	for name, v := range in.vars {
+		in.trace.Vars[name] = v
+	}
+	return in.trace
+}
+
+type interp struct {
+	prog   *Program
+	stream []byte
+	base   int64
+	params map[string]uint32
+	vars   map[string]uint32
+	consts map[string]int64
+	trace  *ExecTrace
+
+	// cursor is the current unit's stream offset while the loop runs.
+	cursor int64
+	unit   uint32 // the preloaded byte/word
+	inLoop bool
+}
+
+func (in *interp) charge(n int64) { in.trace.Cycles += n }
+
+// runLoop walks the stream one unit at a time. Each bounds check costs two
+// cycles (compute the unit's end, branch); byte and word units add one
+// preload; every completed unit pays a three-cycle advance (bump the
+// cursor, deallocate, loop back) and schedules a dealloc at the unit's end
+// address. A trailing partial unit is never entered.
+func (in *interp) runLoop(on *OnStage) {
+	size := int64(on.Size)
+	end := in.base + int64(len(in.stream))
+	in.inLoop = true
+	for cur := in.base; ; cur += size {
+		in.charge(2) // bounds check: addi + branch
+		if sgt(uint32(cur+size), uint32(end)) {
+			break
+		}
+		in.cursor = cur
+		switch on.Mode {
+		case UnitByte:
+			in.charge(1)
+			in.unit = uint32(in.streamByte(cur))
+		case UnitWord:
+			in.charge(1)
+			in.unit = in.streamWord(cur)
+		}
+		in.stmts(on.Body) // a drop inside jumps straight here
+		in.charge(3)      // advance: addi + dealloc + j
+		in.trace.Deallocs = append(in.trace.Deallocs, int64(uint32(cur+size)))
+	}
+	in.inLoop = false
+}
+
+// sgt is the ISA's signed 32-bit a > b (the loop's inverted bounds check).
+func sgt(a, b uint32) bool { return int32(a) > int32(b) }
+
+// streamByte reads one stream byte; out-of-range reads return zero, like
+// the Machine's zero-padded partial loads.
+func (in *interp) streamByte(addr int64) byte {
+	off := addr - in.base
+	if off < 0 || off >= int64(len(in.stream)) {
+		return 0
+	}
+	return in.stream[off]
+}
+
+func (in *interp) streamWord(addr int64) uint32 {
+	var buf [4]byte
+	off := addr - in.base
+	for i := int64(0); i < 4; i++ {
+		if off+i >= 0 && off+i < int64(len(in.stream)) {
+			buf[i] = in.stream[off+i]
+		}
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// stmts executes a statement list; it reports whether a drop fired (the
+// rest of the unit body is skipped, like the compiled jump to the loop's
+// continue point).
+func (in *interp) stmts(body []Stmt) bool {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *Assign:
+			v := in.eval(s.X)
+			in.charge(1) // store to the var's register
+			in.vars[s.Name] = v
+		case *Emit:
+			v := in.eval(s.X)
+			in.charge(1)
+			in.trace.Out = append(in.trace.Out, v)
+		case *Steer:
+			v := in.eval(s.X)
+			in.charge(1)
+			in.trace.Out = append(in.trace.Out, v)
+		case *Drop:
+			in.charge(1) // the jump to the continue point
+			return true
+		case *If:
+			l := in.eval(s.Cond.L)
+			r := in.eval(s.Cond.R)
+			in.charge(1) // the (inverted) branch
+			if holds(s.Cond.Op, l, r) {
+				if in.stmts(s.Then) {
+					return true
+				}
+				if s.HasElse {
+					in.charge(1) // jump over the else block
+				}
+			} else if s.HasElse {
+				if in.stmts(s.Else) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// holds evaluates a comparison; ordering is signed 32-bit.
+func holds(op RelOp, l, r uint32) bool {
+	sl, sr := int32(l), int32(r)
+	switch op {
+	case RelEq:
+		return l == r
+	case RelNe:
+		return l != r
+	case RelLt:
+		return sl < sr
+	case RelLe:
+		return sl <= sr
+	case RelGt:
+		return sl > sr
+	default: // RelGe
+		return sl >= sr
+	}
+}
+
+// eval computes an expression, charging the documented costs: constants
+// cost ConstCycles, name and field reads cost one, every binary operator
+// costs one on top of its operands (shift amounts are compile-time
+// constants and cost nothing).
+func (in *interp) eval(e Expr) uint32 {
+	switch e := e.(type) {
+	case *Num:
+		in.charge(ConstCycles(e.V))
+		return uint32(e.V)
+	case *Ref:
+		if v, ok := in.consts[e.Name]; ok {
+			in.charge(ConstCycles(v))
+			return uint32(v)
+		}
+		in.charge(1) // register move
+		if v, ok := in.vars[e.Name]; ok {
+			return v
+		}
+		if v, ok := in.params[e.Name]; ok {
+			return v
+		}
+		return in.unit
+	case *Field:
+		in.charge(1) // the load
+		addr := in.cursor + int64(e.Off)
+		if e.Word {
+			return in.streamWord(addr)
+		}
+		return uint32(in.streamByte(addr))
+	case *Bin:
+		if e.Op == OpShl || e.Op == OpShr {
+			l := in.eval(e.L)
+			in.charge(1)
+			amt := uint32(in.constExpr(e.R)) & 31
+			if e.Op == OpShl {
+				return l << amt
+			}
+			return l >> amt
+		}
+		l := in.eval(e.L)
+		r := in.eval(e.R)
+		in.charge(1)
+		switch e.Op {
+		case OpAdd:
+			return l + r
+		case OpSub:
+			return l - r
+		case OpMul:
+			return l * r
+		case OpAnd:
+			return l & r
+		case OpOr:
+			return l | r
+		default: // OpXor
+			return l ^ r
+		}
+	}
+	return 0
+}
+
+func (in *interp) constExpr(e Expr) int64 {
+	switch e := e.(type) {
+	case *Num:
+		return e.V
+	case *Ref:
+		return in.consts[e.Name]
+	}
+	panic("hdl: non-constant shift amount survived the checker")
+}

@@ -1,0 +1,476 @@
+package hdl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse turns handler source into an AST and runs every semantic check; on
+// success the program is well-typed and compilable. Errors carry the
+// 1-based source line: "hdl: line N: message".
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct // {, }, (, ), [, ], =, ==, !=, <, <=, >, >=, +, -, *, &, |, ^, <<, >>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // tokInt
+	line int
+}
+
+func errf(line int, format string, args ...any) error {
+	return fmt.Errorf("hdl: line %d: "+format, append([]any{line}, args...)...)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lex tokenizes the source; comments run from ';' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < len(src) && (isIdentPart(src[j])) {
+				j++ // grabs 0x... and trailing junk; ParseInt rejects the junk
+			}
+			v, err := strconv.ParseInt(src[i:j], 0, 64)
+			if err != nil {
+				return nil, errf(line, "bad number %q", src[i:j])
+			}
+			toks = append(toks, token{kind: tokInt, text: src[i:j], val: v, line: line})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "<<", ">>":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '{', '}', '(', ')', '[', ']', '=', '<', '>', '+', '-', '*', '&', '|', '^':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "end of input", line: line})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// expect consumes a punct/keyword token with the given text.
+func (p *parser) expect(text string) (token, error) {
+	t := p.next()
+	if t.text != text {
+		return t, errf(t.line, "expected %q, got %q", text, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.next()
+	if t.kind != tokIdent || isKeyword(t.text) {
+		return t, errf(t.line, "expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectInt(what string) (token, error) {
+	neg := false
+	t := p.peek()
+	if t.text == "-" {
+		p.next()
+		neg = true
+	}
+	t = p.next()
+	if t.kind != tokInt {
+		return t, errf(t.line, "expected %s, got %q", what, t.text)
+	}
+	if neg {
+		t.val = -t.val
+	}
+	return t, nil
+}
+
+var keywords = map[string]bool{
+	"handler": true, "param": true, "var": true, "const": true,
+	"on": true, "byte": true, "word": true, "record": true, "end": true,
+	"if": true, "else": true, "emit": true, "steer": true, "drop": true,
+}
+
+func isKeyword(s string) bool { return keywords[s] }
+
+func (p *parser) program() (*Program, error) {
+	if _, err := p.expect("handler"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("handler name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name.text}
+
+	// Declarations first, then stages.
+	for {
+		t := p.peek()
+		switch t.text {
+		case "param":
+			p.next()
+			id, err := p.expectIdent("parameter name")
+			if err != nil {
+				return nil, err
+			}
+			prog.Params = append(prog.Params, id.text)
+		case "var":
+			p.next()
+			id, err := p.expectIdent("variable name")
+			if err != nil {
+				return nil, err
+			}
+			v := VarDecl{Name: id.text}
+			if p.peek().text == "=" {
+				p.next()
+				n, err := p.expectInt("initial value")
+				if err != nil {
+					return nil, err
+				}
+				v.Init, v.HasInit = n.val, true
+			}
+			prog.Vars = append(prog.Vars, v)
+		case "const":
+			p.next()
+			id, err := p.expectIdent("constant name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("="); err != nil {
+				return nil, err
+			}
+			n, err := p.expectInt("constant value")
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, ConstDecl{Name: id.text, Value: n.val})
+		case "on":
+			if prog.On != nil {
+				return nil, errf(t.line, "handler already has an on-stage")
+			}
+			if prog.HasEnd {
+				return nil, errf(t.line, "on-stage must precede the end stage")
+			}
+			p.next()
+			stage, err := p.onStage(t.line)
+			if err != nil {
+				return nil, err
+			}
+			prog.On = stage
+		case "end":
+			if prog.HasEnd {
+				return nil, errf(t.line, "handler already has an end stage")
+			}
+			p.next()
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			prog.End, prog.HasEnd = body, true
+		case "}":
+			p.next()
+			if tail := p.next(); tail.kind != tokEOF {
+				return nil, errf(tail.line, "trailing input after handler: %q", tail.text)
+			}
+			return prog, nil
+		default:
+			return nil, errf(t.line, "expected a declaration, stage, or \"}\", got %q", t.text)
+		}
+	}
+}
+
+func (p *parser) onStage(line int) (*OnStage, error) {
+	t := p.next()
+	stage := &OnStage{Line: line}
+	switch t.text {
+	case "byte", "word":
+		id, err := p.expectIdent("unit name")
+		if err != nil {
+			return nil, err
+		}
+		stage.Unit = id.text
+		if t.text == "byte" {
+			stage.Mode, stage.Size = UnitByte, 1
+		} else {
+			stage.Mode, stage.Size = UnitWord, 4
+		}
+	case "record":
+		n, err := p.expectInt("record size")
+		if err != nil {
+			return nil, err
+		}
+		stage.Mode, stage.Size = UnitRecord, int(n.val)
+		if n.val < 1 || n.val > MaxRecordSize {
+			return nil, errf(n.line, "record size %d out of range 1..%d", n.val, MaxRecordSize)
+		}
+	default:
+		return nil, errf(t.line, "expected byte, word, or record after \"on\", got %q", t.text)
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	stage.Body = body
+	return stage, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for {
+		t := p.peek()
+		if t.text == "}" {
+			p.next()
+			return stmts, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch t.text {
+	case "emit", "steer":
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "emit" {
+			return &Emit{X: x, Line: t.line}, nil
+		}
+		return &Steer{X: x, Line: t.line}, nil
+	case "drop":
+		p.next()
+		return &Drop{Line: t.line}, nil
+	case "if":
+		p.next()
+		l, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		op, ok := map[string]RelOp{
+			"==": RelEq, "!=": RelNe, "<": RelLt, "<=": RelLe, ">": RelGt, ">=": RelGe,
+		}[opTok.text]
+		if !ok {
+			return nil, errf(opTok.line, "expected a comparison operator, got %q", opTok.text)
+		}
+		r, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &If{Cond: Cond{L: l, Op: op, R: r}, Then: then, Line: t.line}
+		if p.peek().text == "else" {
+			p.next()
+			s.Else, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.HasElse = true
+		}
+		return s, nil
+	default:
+		id, err := p.expectIdent("a statement")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Name: id.text, X: x, Line: id.line}, nil
+	}
+}
+
+// expr parses the additive level: term (("+"|"-"|"|"|"^"|"&") term)*.
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var op BinOp
+		switch t.text {
+		case "+":
+			op = OpAdd
+		case "-":
+			op = OpSub
+		case "|":
+			op = OpOr
+		case "^":
+			op = OpXor
+		case "&":
+			op = OpAnd
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r, Line: t.line}
+	}
+}
+
+// term parses the multiplicative level: factor (("*"|"<<"|">>") factor)*.
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		var op BinOp
+		switch t.text {
+		case "*":
+			op = OpMul
+		case "<<":
+			op = OpShl
+		case ">>":
+			op = OpShr
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r, Line: t.line}
+	}
+}
+
+func (p *parser) factor() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.text == "-":
+		n, err := p.expectInt("a number after unary minus")
+		if err != nil {
+			return nil, err
+		}
+		return &Num{V: n.val, Line: n.line}, nil
+	case t.kind == tokInt:
+		p.next()
+		return &Num{V: t.val, Line: t.line}, nil
+	case t.text == "(":
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case (t.text == "b" || t.text == "w") && p.toks[p.pos+1].text == "[":
+		p.next()
+		p.next() // "["
+		n, err := p.expectInt("field offset")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		return &Field{Word: t.text == "w", Off: int(n.val), Line: t.line}, nil
+	case t.kind == tokIdent && !isKeyword(t.text):
+		p.next()
+		return &Ref{Name: t.text, Line: t.line}, nil
+	default:
+		return nil, errf(t.line, "expected an expression, got %q", t.text)
+	}
+}

@@ -1,0 +1,164 @@
+package hdl
+
+import "testing"
+
+func TestParseSelect(t *testing.T) {
+	p, err := Parse(SelectHDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "select" || len(p.Params) != 1 || len(p.Vars) != 1 {
+		t.Fatalf("unexpected shape: %+v", p)
+	}
+	if p.On == nil || p.On.Mode != UnitRecord || p.On.Size != 16 {
+		t.Fatalf("on-stage: %+v", p.On)
+	}
+	if !p.HasEnd || len(p.End) != 1 {
+		t.Fatalf("end stage: %+v", p.End)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 2+3*4 must parse as 2+(3*4); shifts bind with the multiplicative
+	// level: 1<<2+1 is (1<<2)+1.
+	for _, tc := range []struct {
+		expr string
+		want uint32
+	}{
+		{"2 + 3 * 4", 14},
+		{"1 << 2 + 1", 5},
+		{"(2 + 3) * 4", 20},
+		{"10 - 2 - 3", 5}, // left associative
+		{"255 & 15 | 16", 31},
+		{"6 ^ 3", 5},
+		{"256 >> 4", 16},
+		{"7 * -2", 0xFFFFFFF2}, // wrapping
+	} {
+		src := "handler h { end { emit " + tc.expr + " } }"
+		c, err := Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		got, err := RunSlice(c, nil, DiffBase, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		if got.Out[0] != tc.want {
+			t.Errorf("%s = %#x, want %#x", tc.expr, got.Out[0], tc.want)
+		}
+		ref := Interpret(c.AST, nil, DiffBase, nil)
+		if err := Diff(got, ref); err != nil {
+			t.Errorf("%s: %v", tc.expr, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"bad number",
+			`handler h { end { emit 0z } }`,
+			`hdl: line 1: bad number "0z"`,
+		},
+		{
+			"unexpected character",
+			`handler h { end { emit 1 @ 2 } }`,
+			`hdl: line 1: unexpected character "@"`,
+		},
+		{
+			"two on-stages",
+			"handler h { on byte u { drop }\non byte v { drop } }",
+			`hdl: line 2: handler already has an on-stage`,
+		},
+		{
+			"on after end",
+			"handler h { end { emit 0 }\non byte u { drop } }",
+			`hdl: line 2: on-stage must precede the end stage`,
+		},
+		{
+			"two end stages",
+			"handler h { end { emit 0 }\nend { emit 1 } }",
+			`hdl: line 2: handler already has an end stage`,
+		},
+		{
+			"record size zero",
+			`handler h { on record 0 { drop } }`,
+			`hdl: line 1: record size 0 out of range 1..512`,
+		},
+		{
+			"record size huge",
+			`handler h { on record 4096 { drop } }`,
+			`hdl: line 1: record size 4096 out of range 1..512`,
+		},
+		{
+			"bad unit kind",
+			`handler h { on bit u { drop } }`,
+			`hdl: line 1: expected byte, word, or record after "on", got "bit"`,
+		},
+		{
+			"missing comparison",
+			`handler h { end { if 1 { emit 0 } } }`,
+			`hdl: line 1: expected a comparison operator, got "{"`,
+		},
+		{
+			"keyword as name",
+			`handler h { var emit end { emit 0 } }`,
+			`hdl: line 1: expected variable name, got "emit"`,
+		},
+		{
+			"trailing input",
+			"handler h { end { emit 0 } } junk",
+			`hdl: line 1: trailing input after handler: "junk"`,
+		},
+		{
+			"truncated",
+			`handler h { end { emit`,
+			`hdl: line 1: expected an expression, got "end of input"`,
+		},
+		{
+			"stray declaration",
+			`handler h { 5 }`,
+			`hdl: line 1: expected a declaration, stage, or "}", got "5"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("parsed without error, want %q", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// Comments, hex literals and negative initializers all lex correctly.
+func TestParseLexerDetails(t *testing.T) {
+	src := `
+; leading comment
+handler h {
+	const mask = 0xFF  ; hex works
+	var x = -5
+	end {
+		emit x & mask
+	}
+}
+`
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSlice(c, nil, DiffBase, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Out[0] != uint32(0xFFFFFFFB)&0xFF {
+		t.Fatalf("got %#x", got.Out[0])
+	}
+}

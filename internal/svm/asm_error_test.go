@@ -1,0 +1,92 @@
+package svm
+
+import "testing"
+
+// Error-path coverage for the assembler, asserting exact text (unlike
+// TestAssembleErrors, which only checks rejection): these messages surface
+// directly to handler authors (and through hdl's internal-error wrapper),
+// so changes must be deliberate.
+func TestAssembleErrorText(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"duplicate label",
+			"x: stop\nx: stop",
+			`svm: line 2: duplicate label "x"`,
+		},
+		{
+			"bad label",
+			"9lives: stop",
+			`svm: line 1: bad label "9lives"`,
+		},
+		{
+			"empty label",
+			": stop",
+			`svm: line 1: bad label ""`,
+		},
+		{
+			"undefined label",
+			"j nowhere\nstop",
+			`svm: undefined label "nowhere"`,
+		},
+		{
+			"dangling label",
+			"stop\nend:",
+			`svm: label "end" has no instruction`,
+		},
+		{
+			"empty program",
+			"; nothing but a comment",
+			`svm: empty program`,
+		},
+		{
+			"bad register number",
+			"add r1, r2, r99",
+			`svm: line 1: bad register "r99"`,
+		},
+		{
+			"not a register",
+			"add r1, r2, x3",
+			`svm: line 1: expected register, got "x3"`,
+		},
+		{
+			"bad immediate",
+			"addi r1, r2, banana",
+			`svm: line 1: bad immediate "banana"`,
+		},
+		{
+			"immediate out of range",
+			"addi r1, r2, 0x100000000",
+			`svm: line 1: immediate "0x100000000" out of 32-bit range`,
+		},
+		{
+			"bad memory operand",
+			"lw r1, 4[r2]",
+			`svm: line 1: expected imm(reg), got "4[r2]"`,
+		},
+		{
+			"unknown mnemonic",
+			"frobnicate r1",
+			`svm: line 1: unknown mnemonic "frobnicate"`,
+		},
+		{
+			"wrong operand count",
+			"add r1, r2",
+			`svm: line 1: add wants 3 operands, got 2`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("assembled without error, want %q", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
