@@ -16,6 +16,16 @@
 //	activesim -run fig15 -topology fattree     # collectives on a k-ary fat tree
 //	activesim -run scalesweep                  # fat-tree scaling curves, 4..64 hosts
 //	activesim -run hdlsweep -handler-src my.hdl  # HDL handlers, plus your own
+//	activesim -run fig3 -telemetry             # per-hop latency histograms
+//	activesim -run fig3 -faults plan.json -flight-recorder flight.txt
+//	activesim -run latsweep                    # per-hop active-vs-passive figure
+//
+// -telemetry stamps every packet with a per-hop record and folds
+// end-to-end/per-hop latency histograms, per-flow path breakdowns and
+// occupancy watermarks into the metrics snapshot; -flight-recorder keeps a
+// bounded ring of recent trace events per component and writes a readable
+// dump to the given file when a crash, -strict-routes violation, or
+// invariant panic fires. See OBSERVABILITY.md.
 //
 // -faults arms the JSON fault plan (see RELIABILITY.md) on every simulated
 // cluster; -fault-seed overrides the plan's PRNG seed. -strict-routes turns
@@ -60,7 +70,13 @@ import (
 	"activesan/internal/san"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain is main with an exit code: deferred cleanup (trace flush,
+// flight-recorder dump, profiler stop) must run before the process exits,
+// and a crashed simulation must still flush every output file, so nothing
+// below calls os.Exit directly once Setup has succeeded.
+func realMain() int {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "experiment id to run, or \"all\"")
 	scale := flag.Int64("scale", 8, "problem-size divisor (1 = paper's full sizes)")
@@ -77,12 +93,12 @@ func main() {
 
 	if *trace != "" && cf.TraceOut != "" {
 		fmt.Fprintln(os.Stderr, "activesim: -trace and -trace-out share the trace hook; pick one")
-		os.Exit(2)
+		return 2
 	}
 	cleanup, err := cf.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "activesim:", err)
-		os.Exit(2)
+		return 2
 	}
 	defer cleanup()
 	san.SetStrictRoutes(*strictRoutes)
@@ -91,7 +107,7 @@ func main() {
 		f, err := os.Create(*trace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		w := bufio.NewWriter(f)
 		defer func() {
@@ -121,22 +137,31 @@ func main() {
 		if *run == "" {
 			fmt.Println("\nrun one with: activesim -run <id> [-scale N]")
 		}
-		return
+		return 0
 	}
 
+	// The simulation runs protected: a fault-plan crash surfacing under
+	// -strict-routes, or any invariant panic, converts to exit code 1 —
+	// and everything after this block (result printing, -md/-json/-metrics
+	// writes) plus the deferred cleanup still runs, so output files hold
+	// whatever completed instead of being truncated mid-stream.
 	var collected []*activesan.Result
-	if *run == "all" {
-		// The parallel harness keeps results in registry order, so the
-		// printed report is byte-identical at any worker count.
-		collected = activesan.RunExperiments(*scale, *parallel)
-	} else {
+	code := cf.RunProtected(func() int {
+		if *run == "all" {
+			// The parallel harness keeps results in registry order, so the
+			// printed report is byte-identical at any worker count.
+			collected = activesan.RunExperiments(*scale, *parallel)
+			return 0
+		}
 		res, err := activesan.RunExperiment(*run, *scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		collected = append(collected, res)
-	}
+		return 0
+	})
+
 	for _, res := range collected {
 		id := res.ID
 		fmt.Print(res.Format())
@@ -148,50 +173,56 @@ func main() {
 			fmt.Print(activesan.RenderASCII(res))
 		}
 		if *svgDir != "" {
-			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
 			path := *svgDir + "/" + id + ".svg"
-			if err := os.WriteFile(path, activesan.RenderSVG(res), 0o644); err != nil {
+			if err := writeOut(path, activesan.RenderSVG(res)); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				code = 1
 			}
-			fmt.Printf("wrote %s\n", path)
 		}
 		fmt.Println()
 	}
 	if *mdPath != "" {
 		md := activesan.MarkdownReport("Active I/O Switches — experiment report", *scale, collected)
-		writeOut(*mdPath, []byte(md))
+		if err := writeOut(*mdPath, []byte(md)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
 	}
 	if *jsonPath != "" {
 		data, err := activesan.ResultJSON(collected)
-		if err != nil {
+		if err := marshalOut(*jsonPath, data, err); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			code = 1
 		}
-		writeOut(*jsonPath, data)
 	}
 	if cf.MetricsOut != "" {
+		// Written even when the run crashed (collected may be partial or
+		// empty): a valid, possibly-empty document beats a missing one.
 		data, err := activesan.MetricsJSON(collected)
-		if err != nil {
+		if err := marshalOut(cf.MetricsOut, data, err); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			code = 1
 		}
-		writeOut(cf.MetricsOut, data)
 	}
+	return code
+}
+
+// marshalOut writes one marshalled artifact, folding the marshal error in.
+func marshalOut(path string, data []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	return writeOut(path, data)
 }
 
 // writeOut writes one output artifact, creating its directory.
-func writeOut(path string, data []byte) {
+func writeOut(path string, data []byte) error {
 	if err := cliflags.EnsureParent(path); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
 }

@@ -17,6 +17,11 @@
 // one JSON file keyed by point label; -trace-out streams typed trace events
 // as a Chrome trace-event / Perfetto JSON file (see cmd/activesim).
 //
+// -telemetry arms per-packet per-hop telemetry on every simulated cluster
+// (histograms land in the point snapshots); -flight-recorder keeps a
+// bounded ring of recent trace events per component and dumps it on a
+// crash (see OBSERVABILITY.md).
+//
 // -cpuprofile/-memprofile write pprof profiles of the sweep itself (see
 // PERFORMANCE.md for the profiling workflow).
 //
@@ -73,6 +78,9 @@ func record(label string, r stats.Run) {
 	sweepMetrics[label] = r.Metrics
 }
 
+// writeSweepMetrics flushes the accumulated snapshots. It runs deferred —
+// including after a crashed sweep, where a valid file holding the points
+// that completed beats a missing one — so errors print instead of exiting.
 func writeSweepMetrics(path string) {
 	wrapper := struct {
 		Paper  string                       `json:"paper"`
@@ -84,15 +92,15 @@ func writeSweepMetrics(path string) {
 	data, err := json.MarshalIndent(wrapper, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return
 	}
 	if err := cliflags.EnsureParent(path); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return
 	}
 	fmt.Printf("wrote %s\n", path)
 }
@@ -116,7 +124,10 @@ func parseInts(s string) []int {
 
 // sweepLines evaluates one line of output per point over a worker pool and
 // prints the lines in point order, so any -parallel value produces the
-// same output as a sequential sweep.
+// same output as a sequential sweep. A panicking point (fault-plan crash
+// under -strict-routes) is captured on its worker and re-raised — first
+// point first, for determinism — on the caller's goroutine, where the
+// deferred output flushing can see it.
 func sweepLines(points []int, workers int, eval func(p int) string) {
 	if workers < 1 {
 		workers = runtime.NumCPU()
@@ -130,6 +141,7 @@ func sweepLines(points []int, workers int, eval func(p int) string) {
 			lines[i] = eval(p)
 		}
 	} else {
+		panics := make([]any, len(points))
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -137,7 +149,10 @@ func sweepLines(points []int, workers int, eval func(p int) string) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					lines[i] = eval(points[i])
+					func() {
+						defer func() { panics[i] = recover() }()
+						lines[i] = eval(points[i])
+					}()
 				}
 			}()
 		}
@@ -146,13 +161,23 @@ func sweepLines(points []int, workers int, eval func(p int) string) {
 		}
 		close(idx)
 		wg.Wait()
+		for i, p := range panics {
+			if p != nil {
+				panic(fmt.Sprintf("sweep point %d panicked: %v", points[i], p))
+			}
+		}
 	}
 	for _, l := range lines {
 		fmt.Print(l)
 	}
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain is main with an exit code, so deferred cleanup (trace flush,
+// flight-recorder dump, metrics write) runs before the process exits —
+// even when the sweep crashes.
+func realMain() int {
 	sweep := flag.String("sweep", "reduce", "what to sweep: reduce | md5 | sort | ablation | twolevel")
 	kind := flag.String("kind", "one", "reduction kind: one | dist | all")
 	nodes := flag.String("nodes", "2,4,8,16,32,64,128", "node counts for -sweep reduce")
@@ -167,7 +192,7 @@ func main() {
 	cleanup, err := cf.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sansweep:", err)
-		os.Exit(2)
+		return 2
 	}
 	defer cleanup()
 
@@ -175,69 +200,73 @@ func main() {
 		sweepMetrics = make(map[string]*metrics.Snapshot)
 		// Deferred so the early-returning reduce pipeline path writes too
 		// (reduce sweeps build bare engines without stats.Run snapshots, so
-		// their file is legitimately empty).
+		// their file is legitimately empty) — and so a crashed sweep still
+		// flushes the points that completed.
 		defer writeSweepMetrics(cf.MetricsOut)
 	}
 
-	switch *sweep {
-	case "ablation":
-		fmt.Print(ablation.Report())
+	return cf.RunProtected(func() int {
+		switch *sweep {
+		case "ablation":
+			fmt.Print(ablation.Report())
 
-	case "twolevel":
-		res := twolevel.RunAll(twolevel.DefaultParams())
-		for _, r := range res.Runs {
-			record("twolevel/"+r.Config, r)
-		}
-		fmt.Print(res.Format())
+		case "twolevel":
+			res := twolevel.RunAll(twolevel.DefaultParams())
+			for _, r := range res.Runs {
+				record("twolevel/"+r.Config, r)
+			}
+			fmt.Print(res.Format())
 
-	case "reduce":
-		k := reduce.ToOne
-		switch *kind {
-		case "dist":
-			k = reduce.Distributed
-		case "all":
-			k = reduce.ToAll
-		}
-		if *rounds > 0 {
-			sweepLines(parseInts(*nodes), *parallel, func(p int) string {
-				iso := reduce.Run(reduce.ToOne, true, p, reduce.DefaultParams()).Latency
-				r := reduce.RunPipelined(p, *rounds, reduce.DefaultParams())
-				return fmt.Sprintf("p=%-4d rounds=%d total=%v per-round=%v isolated=%v correct=%v\n",
-					p, *rounds, r.Total, r.PerRound, iso, r.Correct)
+		case "reduce":
+			k := reduce.ToOne
+			switch *kind {
+			case "dist":
+				k = reduce.Distributed
+			case "all":
+				k = reduce.ToAll
+			}
+			if *rounds > 0 {
+				sweepLines(parseInts(*nodes), *parallel, func(p int) string {
+					iso := reduce.Run(reduce.ToOne, true, p, reduce.DefaultParams()).Latency
+					r := reduce.RunPipelined(p, *rounds, reduce.DefaultParams())
+					return fmt.Sprintf("p=%-4d rounds=%d total=%v per-round=%v isolated=%v correct=%v\n",
+						p, *rounds, r.Total, r.PerRound, iso, r.Correct)
+				})
+				return 0
+			}
+			res := reduce.SweepParallel(k, parseInts(*nodes), reduce.DefaultParams(), *parallel)
+			fmt.Print(res.Format())
+
+		case "md5":
+			prm := md5app.DefaultParams()
+			normal := md5app.Run(apps.Normal, 1, prm)
+			record("md5/normal", normal)
+			fmt.Printf("%-20s %v\n", "normal", normal.Time)
+			sweepLines(parseInts(*cpus), *parallel, func(c int) string {
+				r := md5app.Run(apps.ActivePref, c, prm)
+				record(fmt.Sprintf("md5/%s/cpus=%d", r.Config, c), r)
+				return fmt.Sprintf("%-20s %v  speedup %.2f\n", r.Config, r.Time,
+					float64(normal.Time)/float64(r.Time))
 			})
-			return
+
+		case "sort":
+			sweepLines(parseInts(*hosts), *parallel, func(hcount int) string {
+				prm := psort.DefaultParams()
+				prm.Hosts = hcount
+				prm.Records = *records
+				n := psort.Run(apps.NormalPref, prm)
+				a := psort.Run(apps.ActivePref, prm)
+				record(fmt.Sprintf("sort/%s/p=%d", n.Config, hcount), n)
+				record(fmt.Sprintf("sort/%s/p=%d", a.Config, hcount), a)
+				limit := float64(hcount) / float64(3*hcount-2)
+				return fmt.Sprintf("p=%-3d normal=%v active=%v traffic-ratio=%.3f (limit %.3f)\n",
+					hcount, n.Time, a.Time, float64(a.Traffic)/float64(n.Traffic), limit)
+			})
+
+		default:
+			fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
+			return 1
 		}
-		res := reduce.SweepParallel(k, parseInts(*nodes), reduce.DefaultParams(), *parallel)
-		fmt.Print(res.Format())
-
-	case "md5":
-		prm := md5app.DefaultParams()
-		normal := md5app.Run(apps.Normal, 1, prm)
-		record("md5/normal", normal)
-		fmt.Printf("%-20s %v\n", "normal", normal.Time)
-		sweepLines(parseInts(*cpus), *parallel, func(c int) string {
-			r := md5app.Run(apps.ActivePref, c, prm)
-			record(fmt.Sprintf("md5/%s/cpus=%d", r.Config, c), r)
-			return fmt.Sprintf("%-20s %v  speedup %.2f\n", r.Config, r.Time,
-				float64(normal.Time)/float64(r.Time))
-		})
-
-	case "sort":
-		sweepLines(parseInts(*hosts), *parallel, func(hcount int) string {
-			prm := psort.DefaultParams()
-			prm.Hosts = hcount
-			prm.Records = *records
-			n := psort.Run(apps.NormalPref, prm)
-			a := psort.Run(apps.ActivePref, prm)
-			record(fmt.Sprintf("sort/%s/p=%d", n.Config, hcount), n)
-			record(fmt.Sprintf("sort/%s/p=%d", a.Config, hcount), a)
-			limit := float64(hcount) / float64(3*hcount-2)
-			return fmt.Sprintf("p=%-3d normal=%v active=%v traffic-ratio=%.3f (limit %.3f)\n",
-				hcount, n.Time, a.Time, float64(a.Traffic)/float64(n.Traffic), limit)
-		})
-
-	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *sweep)
-		os.Exit(1)
-	}
+		return 0
+	})
 }

@@ -14,6 +14,7 @@ import (
 	"activesan/internal/san"
 	"activesan/internal/sim"
 	"activesan/internal/stats"
+	"activesan/internal/telemetry"
 )
 
 // Config selects one of the paper's four benchmark configurations.
@@ -270,6 +271,7 @@ func RunIOWith(ccfg cluster.IOClusterConfig, cfg Config,
 	} else {
 		inj = fault.ArmDefault(c)
 	}
+	rec := telemetry.MaybeAttach(c)
 	c.Start()
 	tl := metrics.StartTimelines(c, metrics.DefaultTimelineInterval)
 	var end sim.Time
@@ -284,6 +286,9 @@ func RunIOWith(ccfg cluster.IOClusterConfig, cfg Config,
 	eng.Run()
 	run := Collect(cfg, c, end, extra)
 	tl.Into(run.Metrics)
+	if rec != nil {
+		rec.Into(run.Metrics)
+	}
 	if hostIdx != nil {
 		run.HostBusy, run.HostStall, run.Traffic = 0, 0, 0
 		run.Hosts = len(hostIdx)

@@ -152,6 +152,14 @@ type ActiveSwitch struct {
 	crashed    bool
 	crash      CrashStats
 	perHandler [san.MaxHandlerID + 1]HandlerStats
+
+	// Telemetry hooks (nil = off): stamp mints records for switch-sourced
+	// packets (handler Send/Forward), complete consumes records of packets
+	// terminating at the active plane, handlerDone reports each handler
+	// run's duration for per-handler histograms.
+	stamp       san.Stamper
+	complete    san.Completer
+	handlerDone func(name string, dur sim.Time)
 }
 
 // New builds an active switch with the given node identity. Wire its ports
@@ -219,6 +227,16 @@ func (s *ActiveSwitch) CrashStatsCopy() CrashStats { return s.crash }
 
 // Crashed reports whether the active plane is down.
 func (s *ActiveSwitch) Crashed() bool { return s.crashed }
+
+// SetTelemetry arms per-packet stamping on the active plane: stamp mints
+// records for handler-sourced packets, complete consumes records of
+// packets the switch terminates, handlerDone reports handler run times.
+// Install before traffic flows.
+func (s *ActiveSwitch) SetTelemetry(stamp san.Stamper, complete san.Completer, handlerDone func(name string, dur sim.Time)) {
+	s.stamp = stamp
+	s.complete = complete
+	s.handlerDone = handlerDone
+}
 
 // Crash kills the active plane: running handlers abort at their next Ctx
 // call, queued invocations are refused with a CrashNotice, and arriving
@@ -332,6 +350,10 @@ func (s *ActiveSwitch) NextFlow() int64 {
 // in the input port's process, so blocking here is the credit backpressure
 // the paper relies on.
 func (s *ActiveSwitch) Deliver(p *sim.Proc, pkt *san.Packet, fillRate float64) {
+	var tstart sim.Time
+	if pkt.Stamp != nil {
+		tstart = p.Now()
+	}
 	p.Sleep(s.cfg.DispatchLatency)
 	if s.crashed {
 		// The active plane is down: refuse invocations (telling the invoker
@@ -407,6 +429,14 @@ func (s *ActiveSwitch) Deliver(p *sim.Proc, pkt *san.Packet, fillRate float64) {
 		}
 		c.invq.Put(inv)
 	}
+	if st := pkt.Stamp; st != nil && s.complete != nil {
+		// The packet terminates here: dispatch plus data-buffer admission is
+		// its active-plane hop; handler execution time is reported separately
+		// through the handlerDone hook (it runs asynchronously on the switch
+		// CPU, after this packet's life ends).
+		st.Add(san.HopHandler, s.Name(), tstart, p.Now())
+		s.complete(st, p.Now(), pkt.Hdr.Type)
+	}
 	s.mapSig.Fire()
 }
 
@@ -478,6 +508,9 @@ func (c *SwitchCPU) loop(p *sim.Proc) {
 			continue
 		}
 		c.cpu.Flush(p)
+		if fn := c.sw.handlerDone; fn != nil {
+			fn(entry.name, p.Now()-start)
+		}
 		if eng.Tracing() {
 			eng.Emit("handler", "retire", c.sw.Name(),
 				fmt.Sprintf("cpu%d retire %q after %v", c.id, entry.name, p.Now()-start))

@@ -233,6 +233,9 @@ func (x *Ctx) Send(spec SendSpec) {
 		words := (pkt.Size + wordBytes - 1) / wordBytes
 		x.c.cpu.Compute(x.p, words+packetHeaderCost)
 		x.c.cpu.Flush(x.p)
+		if x.sw.stamp != nil {
+			pkt.Stamp = x.sw.stamp(x.p.Now())
+		}
 		if err := x.sw.Inject(x.p, pkt); err != nil {
 			x.sw.dba.Free(buf)
 			panic(err)
@@ -269,6 +272,9 @@ func (x *Ctx) Forward(spec SendSpec, src *DataBuffer, seq int, last bool) {
 	pkt := &san.Packet{Hdr: hdr, Size: src.size, Payload: src.payload}
 	x.c.cpu.Compute(x.p, packetHeaderCost)
 	x.c.cpu.Flush(x.p)
+	if x.sw.stamp != nil {
+		pkt.Stamp = x.sw.stamp(x.p.Now())
+	}
 	if err := x.sw.Inject(x.p, pkt); err != nil {
 		panic(err)
 	}

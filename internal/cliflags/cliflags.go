@@ -1,8 +1,8 @@
 // Package cliflags is the flag wiring shared by cmd/activesim and
 // cmd/sansweep: output paths (metrics, traces, pprof profiles), the
-// fault-injection plan, the collective topology selector, and the
-// -handler-src HDL handler loader.
-// Both commands declare the same flags with the same
+// fault-injection plan, the collective topology selector, the
+// -handler-src HDL handler loader, and the telemetry/flight-recorder
+// switches. Both commands declare the same flags with the same
 // semantics; this package keeps them from drifting and gives their values
 // one validated Setup path with helpful errors instead of two copies of the
 // boilerplate.
@@ -22,6 +22,7 @@ import (
 	"activesan/internal/metrics"
 	"activesan/internal/prof"
 	"activesan/internal/sim"
+	"activesan/internal/telemetry"
 )
 
 // Common holds the flag values shared by the commands.
@@ -35,6 +36,13 @@ type Common struct {
 	FaultSeed  uint64
 	Topology   string
 	HandlerSrc string
+	Telemetry  bool
+	FlightRec  string
+
+	// FR is the armed flight recorder (nil unless -flight-recorder was
+	// given). RunProtected feeds recovered panics into it; cleanup writes
+	// its dump when it triggered.
+	FR *telemetry.FlightRecorder
 }
 
 // Register declares the shared flags on the default flag set. Call before
@@ -55,6 +63,10 @@ func Register() *Common {
 		"collective topology: tree (the paper's reduction tree), fattree, or fattree:K (see TOPOLOGIES.md)")
 	flag.StringVar(&c.HandlerSrc, "handler-src", "",
 		"compile this HDL handler source file and add it to the hdlsweep experiment (see HANDLERS.md)")
+	flag.BoolVar(&c.Telemetry, "telemetry", false,
+		"stamp every packet with per-hop telemetry and fold latency histograms into metrics (see OBSERVABILITY.md)")
+	flag.StringVar(&c.FlightRec, "flight-recorder", "",
+		"keep a per-component ring of recent trace events; dump to this file on a crash or -strict-routes violation")
 	return c
 }
 
@@ -78,9 +90,12 @@ func parseTopology(v string) (kind string, k int, err error) {
 }
 
 // Setup validates the parsed values and installs their process-wide effects:
-// the default fault plan, profiling, and the Chrome trace sink. The returned
-// cleanup (never nil) flushes the trace file and stops the profilers; defer
-// it from main. Errors name the flag at fault.
+// the default fault plan, profiling, telemetry, the flight recorder, and the
+// Chrome trace sink. The returned cleanup (never nil) flushes the trace
+// file, writes the flight-recorder dump if it triggered, and stops the
+// profilers; defer it from main. RunProtected runs cleanup even when the
+// simulation panics, so -trace-out/-metrics-out are never left truncated.
+// Errors name the flag at fault.
 func (c *Common) Setup() (cleanup func(), err error) {
 	noop := func() {}
 	if c.FaultSeed != 0 && c.Faults == "" {
@@ -115,31 +130,81 @@ func (c *Common) Setup() (cleanup func(), err error) {
 			return noop, fmt.Errorf("-metrics-out: %w", err)
 		}
 	}
+	telemetry.SetDefault(c.Telemetry)
+	if c.FlightRec != "" {
+		if err := EnsureParent(c.FlightRec); err != nil {
+			return noop, fmt.Errorf("-flight-recorder: %w", err)
+		}
+		c.FR = telemetry.NewFlightRecorder(0)
+	}
 	stopProf := prof.Start(c.CPUProfile, c.MemProfile)
-	if c.TraceOut == "" {
-		return stopProf, nil
+
+	var w *metrics.ChromeTraceWriter
+	if c.TraceOut != "" {
+		if err := EnsureParent(c.TraceOut); err != nil {
+			stopProf()
+			return noop, fmt.Errorf("-trace-out: %w", err)
+		}
+		f, err := os.Create(c.TraceOut)
+		if err != nil {
+			stopProf()
+			return noop, fmt.Errorf("-trace-out: %w", err)
+		}
+		// The writer locks internally, so -parallel engines share it.
+		w = metrics.NewChromeTraceWriter(f, int64(c.TraceLimit))
+		if c.Telemetry {
+			// Per-hop spans ride the same Perfetto file as the event trace.
+			telemetry.SetDefaultSpanWriter(w)
+		}
 	}
-	if err := EnsureParent(c.TraceOut); err != nil {
-		stopProf()
-		return noop, fmt.Errorf("-trace-out: %w", err)
+
+	// Install the trace sink: the flight recorder tees in front of the
+	// Chrome writer (or records alone when there is no -trace-out).
+	switch {
+	case c.FR != nil && w != nil:
+		sim.SetDefaultTraceSink(c.FR.Sink(w.Sink()))
+	case c.FR != nil:
+		sim.SetDefaultTraceSink(c.FR.Sink(nil))
+	case w != nil:
+		sim.SetDefaultTraceSink(w.Sink())
 	}
-	f, err := os.Create(c.TraceOut)
-	if err != nil {
-		stopProf()
-		return noop, fmt.Errorf("-trace-out: %w", err)
-	}
-	// The writer locks internally, so -parallel engines share it.
-	w := metrics.NewChromeTraceWriter(f, int64(c.TraceLimit))
-	sim.SetDefaultTraceSink(w.Sink())
-	out := c.TraceOut
+
+	out, frOut, fr := c.TraceOut, c.FlightRec, c.FR
 	return func() {
-		if err := w.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		} else {
-			fmt.Printf("wrote %s (%d events)\n", out, w.Events())
+		if fr != nil && fr.Triggered() {
+			if err := os.WriteFile(frOut, []byte(fr.Dump()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wrote flight-recorder dump to %s\n", frOut)
+			}
+		}
+		if w != nil {
+			if err := w.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Printf("wrote %s (%d events)\n", out, w.Events())
+			}
 		}
 		stopProf()
 	}, nil
+}
+
+// RunProtected executes body, converting a panic — a fault-plan crash
+// surfacing under -strict-routes, an invariant failure — into exit code 1
+// after arming the flight recorder with the panic message. The caller's
+// deferred cleanup then still runs (trace close, flight dump, metrics
+// write), so output files are complete even on a crashed run.
+func (c *Common) RunProtected(body func() int) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c.FR != nil {
+				c.FR.Trigger(fmt.Sprintf("panic: %v", r))
+			}
+			fmt.Fprintf(os.Stderr, "crash: %v\n", r)
+			code = 1
+		}
+	}()
+	return body()
 }
 
 // EnsureParent creates the directory a file path will be written into.

@@ -1,14 +1,19 @@
 package cliflags
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"activesan/internal/apps"
+	"activesan/internal/apps/mpeg"
 	"activesan/internal/cluster"
 	"activesan/internal/fault"
 	"activesan/internal/hdl"
+	"activesan/internal/sim"
+	"activesan/internal/telemetry"
 )
 
 func TestSetupRejectsSeedWithoutPlan(t *testing.T) {
@@ -146,6 +151,80 @@ func TestEnsureParent(t *testing.T) {
 	// A bare filename needs no directory and must not error.
 	if err := EnsureParent("out.json"); err != nil {
 		t.Fatalf("EnsureParent on bare name: %v", err)
+	}
+}
+
+func TestCleanupFlushesOnCrash(t *testing.T) {
+	// The satellite regression: a fault plan that crashes mid-run (here a
+	// handler crash, followed by a strict-routes-style panic out of the
+	// simulation body) must still leave a complete -trace-out document and a
+	// flight-recorder dump on disk — never a truncated fragment.
+	defer func() {
+		sim.SetDefaultTraceSink(nil)
+		telemetry.SetDefault(false)
+		telemetry.SetDefaultSpanWriter(nil)
+		fault.SetDefault(nil, 0)
+	}()
+	dir := t.TempDir()
+	planPath := filepath.Join(dir, "crash.json")
+	plan := `{"events": [{"at_ns": 50000, "kind": "handler_crash", "switch": 0}]}`
+	if err := os.WriteFile(planPath, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &Common{
+		TraceOut:   filepath.Join(dir, "trace.json"),
+		TraceLimit: 100000,
+		Faults:     planPath,
+		Telemetry:  true,
+		FlightRec:  filepath.Join(dir, "flight.txt"),
+	}
+	cleanup, err := c.Setup()
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if c.FR == nil {
+		t.Fatal("Setup left FR nil with -flight-recorder set")
+	}
+
+	prm := mpeg.DefaultParams()
+	prm.FileSize = 256 * 1024
+	dp, seed := fault.Default()
+	code := c.RunProtected(func() int {
+		run, _ := mpeg.RunFaulted(apps.Active, prm, dp, seed)
+		if run.Extra["fallback"] != true {
+			t.Errorf("crash plan did not force the fallback: Extra=%v", run.Extra)
+		}
+		panic("no route for packet dst=7 (-strict-routes)")
+	})
+	cleanup() // main defers this; a panic in the body must not skip it
+	if code != 1 {
+		t.Fatalf("RunProtected = %d after a panic, want 1", code)
+	}
+
+	// Flight dump written, holding both the fault event and the panic trigger.
+	dump, err := os.ReadFile(c.FlightRec)
+	if err != nil {
+		t.Fatalf("no flight-recorder dump: %v", err)
+	}
+	for _, want := range []string{"handler_crash", "panic: no route"} {
+		if !strings.Contains(string(dump), want) {
+			t.Errorf("dump lacks %q:\n%s", want, dump)
+		}
+	}
+
+	// The trace file is a complete, loadable JSON document with events.
+	raw, err := os.ReadFile(c.TraceOut)
+	if err != nil {
+		t.Fatalf("no trace file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("crashed run left a truncated trace: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace document holds no events")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"activesan/internal/apps/grep"
 	"activesan/internal/apps/hashjoin"
 	"activesan/internal/apps/hdlsweep"
+	"activesan/internal/apps/latsweep"
 	"activesan/internal/apps/md5app"
 	"activesan/internal/apps/mpeg"
 	"activesan/internal/apps/psort"
@@ -193,6 +194,18 @@ var Registry = []Experiment{
 		},
 	},
 	{
+		ID:    "latsweep",
+		Paper: "Extension (telemetry)",
+		Title: "Per-hop latency decomposition: active vs passive reduce",
+		Run: func(scale int64) *stats.Result {
+			prm := latsweep.DefaultParams()
+			if clampScale(scale) > 1 {
+				prm.HostCounts = []int{4, 8, 16}
+			}
+			return latsweep.RunAll(prm)
+		},
+	},
+	{
 		ID:    "hdlsweep",
 		Paper: "Extension (handler authoring)",
 		Title: "HDL handlers: compiled-on-switch vs host interpreter",
@@ -326,6 +339,12 @@ func RunAll(scale int64, workers int) []*stats.Result {
 		}
 		return out
 	}
+	// A panicking experiment (fault-plan crash under -strict-routes, an
+	// invariant failure) must not kill its worker goroutine where the CLI's
+	// recover cannot see it: capture per-experiment panics and re-raise the
+	// first one — in registry order, for determinism — on the caller's
+	// goroutine after the pool drains, so deferred output flushing runs.
+	panics := make([]any, len(Registry))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -333,7 +352,10 @@ func RunAll(scale int64, workers int) []*stats.Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = Registry[i].Run(scale)
+				func() {
+					defer func() { panics[i] = recover() }()
+					out[i] = Registry[i].Run(scale)
+				}()
 			}
 		}()
 	}
@@ -342,6 +364,11 @@ func RunAll(scale int64, workers int) []*stats.Result {
 	}
 	close(idx)
 	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("exp: experiment %s panicked: %v", Registry[i].ID, p))
+		}
+	}
 	return out
 }
 
@@ -413,6 +440,21 @@ func Shapes(res *stats.Result) []string {
 		}
 		if sp != nil {
 			add("max speedup %.2fx over the host MST", sp.MaxY())
+		}
+	case "latsweep":
+		var passP99, actP99 *stats.Series
+		for i := range res.Series {
+			switch res.Series[i].Name {
+			case "passive e2e p99 (us)":
+				passP99 = &res.Series[i]
+			case "active e2e p99 (us)":
+				actP99 = &res.Series[i]
+			}
+		}
+		if passP99 != nil && actP99 != nil && len(passP99.Y) > 0 {
+			last := len(passP99.Y) - 1
+			add("e2e p99 at %d hosts: active %.1fus vs passive %.1fus (extension: not in the paper)",
+				int(passP99.X[last]), actP99.Y[last], passP99.Y[last])
 		}
 	case "hdlsweep":
 		if len(res.Series) == 2 && len(res.Series[0].Y) > 0 {

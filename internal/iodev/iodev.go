@@ -209,6 +209,14 @@ type StorageNode struct {
 	rel    *san.RxTracker
 	rtxq   *sim.Queue[*san.Packet]
 
+	// Telemetry hooks (nil = off): stamp mints in-band records for read
+	// data leaving the node, complete consumes them when stamped write
+	// data lands. maxReqQueue is the request-queue high-water mark,
+	// tracked only while armed.
+	stamp       san.Stamper
+	complete    san.Completer
+	maxReqQueue int
+
 	stats   Stats
 	started bool
 }
@@ -272,6 +280,18 @@ func (s *StorageNode) RegisterFilter(id int, f *Filter) {
 	}
 	s.filters[id] = f
 }
+
+// SetTelemetry arms per-packet stamping on this node: stamp mints records
+// for outgoing read data, complete consumes records carried by incoming
+// write data. Install before traffic flows.
+func (s *StorageNode) SetTelemetry(stamp san.Stamper, complete san.Completer) {
+	s.stamp = stamp
+	s.complete = complete
+}
+
+// MaxQueuedReqs reports the read-request queue depth high-water mark (zero
+// unless telemetry was armed).
+func (s *StorageNode) MaxQueuedReqs() int { return s.maxReqQueue }
 
 // ID returns the node id.
 func (s *StorageNode) ID() san.NodeID { return s.id }
@@ -395,6 +415,11 @@ func (s *StorageNode) accept(p *sim.Proc, pkt *san.Packet) {
 			s.writes[pkt.Hdr.Flow] = &writeState{req: w, src: pkt.Hdr.Src}
 		} else {
 			s.reqs.Put(queuedReq{pkt: pkt, at: p.Now()})
+			if s.stamp != nil {
+				if d := s.reqs.Len(); d > s.maxReqQueue {
+					s.maxReqQueue = d
+				}
+			}
 		}
 	case san.Data:
 		s.absorbWrite(p, pkt)
@@ -433,6 +458,9 @@ func (s *StorageNode) absorbWrite(p *sim.Proc, pkt *san.Packet) {
 	durable := s.diskReserve(w.req.File, w.req.Off+w.got, pkt.Size)
 	w.got += pkt.Size
 	s.stats.BytesWritten += pkt.Size
+	if st := pkt.Stamp; st != nil && s.complete != nil {
+		s.complete(st, p.Now(), pkt.Hdr.Type)
+	}
 	if w.got >= w.req.Len {
 		delete(s.writes, pkt.Hdr.Flow)
 		s.stats.Writes++
@@ -554,7 +582,7 @@ func (s *StorageNode) serveRead(p *sim.Proc, req ReadReq, arrived sim.Time) {
 		if flt == nil {
 			panic(fmt.Sprintf("iodev: read names unregistered filter %d on %s", req.FilterID, s.name))
 		}
-		s.serveFilteredRead(p, req, f, flt, first, hdr)
+		s.serveFilteredRead(p, req, f, flt, arrived, first, hdr)
 		return
 	}
 
@@ -582,6 +610,11 @@ func (s *StorageNode) serveRead(p *sim.Proc, req ReadReq, arrived sim.Time) {
 			p.SleepUntil(at)
 		}
 		s.bus.Use(p, sim.TransferTime(pkt.Size, s.cfg.Bus.BandwidthBytesPerSec))
+		if s.stamp != nil {
+			st := s.stamp(arrived)
+			st.Add(san.HopDisk, s.name, arrived, p.Now())
+			pkt.Stamp = st
+		}
 		s.sendTracked(p, pkt)
 	}
 	if req.Notify != san.NoNode && req.Notify != 0 {
@@ -598,7 +631,7 @@ func (s *StorageNode) serveRead(p *sim.Proc, req ReadReq, arrived sim.Time) {
 // ends with an 8-byte trailer packet (Last=true) whose payload is the
 // total bytes kept, so consumers of the variable-length output can
 // terminate.
-func (s *StorageNode) serveFilteredRead(p *sim.Proc, req ReadReq, f *File, flt *Filter, first sim.Time, hdr san.Header) {
+func (s *StorageNode) serveFilteredRead(p *sim.Proc, req ReadReq, f *File, flt *Filter, arrived, first sim.Time, hdr san.Header) {
 	s.bus.Reserve(s.cfg.Bus.Arbitration)
 	var kept int64
 	seq := 0
@@ -627,6 +660,11 @@ func (s *StorageNode) serveFilteredRead(p *sim.Proc, req ReadReq, f *File, flt *
 		pkt.Hdr.Addr = hdr.Addr + kept
 		seq++
 		kept += keep
+		if s.stamp != nil {
+			st := s.stamp(arrived)
+			st.Add(san.HopDisk, s.name, arrived, p.Now())
+			pkt.Stamp = st
+		}
 		s.sendTracked(p, pkt)
 	}
 	// Trailer: total kept, Last set.
@@ -634,6 +672,11 @@ func (s *StorageNode) serveFilteredRead(p *sim.Proc, req ReadReq, f *File, flt *
 	trailer.Hdr.Seq = seq
 	trailer.Hdr.Addr = hdr.Addr + kept
 	trailer.Hdr.Last = true
+	if s.stamp != nil {
+		st := s.stamp(arrived)
+		st.Add(san.HopDisk, s.name, arrived, p.Now())
+		trailer.Stamp = st
+	}
 	s.sendTracked(p, trailer)
 	if req.Notify != san.NoNode && req.Notify != 0 {
 		s.sendTracked(p, &san.Packet{Hdr: san.Header{

@@ -35,7 +35,8 @@ type chromeEvent struct {
 	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	Scope string         `json:"s,omitempty"`
-	TS    float64        `json:"ts"` // microseconds
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds, "X" phase only
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Args  map[string]any `json:"args,omitempty"`
@@ -70,7 +71,40 @@ func (c *ChromeTraceWriter) emit(ev sim.TraceEvent) {
 	if c.closed || (c.limit > 0 && c.events >= c.limit) {
 		return
 	}
-	comp := ev.Comp
+	c.events++
+	c.write(chromeEvent{
+		Name:  ev.Name,
+		Cat:   ev.Cat,
+		Phase: "i",
+		Scope: "t",
+		TS:    float64(ev.At) / 1e6, // picoseconds -> microseconds
+		TID:   c.tidFor(ev.Comp),
+		Args:  map[string]any{"detail": ev.Detail},
+	})
+}
+
+// Span writes one complete duration event ("X" phase) on comp's thread —
+// the telemetry recorder's Perfetto span export for per-hop latency.
+func (c *ChromeTraceWriter) Span(comp, name, cat string, start, dur sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || (c.limit > 0 && c.events >= c.limit) {
+		return
+	}
+	c.events++
+	c.write(chromeEvent{
+		Name:  name,
+		Cat:   cat,
+		Phase: "X",
+		TS:    float64(start) / 1e6, // picoseconds -> microseconds
+		Dur:   float64(dur) / 1e6,
+		TID:   c.tidFor(comp),
+	})
+}
+
+// tidFor returns comp's thread id, writing its metadata record on first
+// use; caller holds the lock.
+func (c *ChromeTraceWriter) tidFor(comp string) int {
 	if comp == "" {
 		comp = "sim"
 	}
@@ -85,16 +119,7 @@ func (c *ChromeTraceWriter) emit(ev sim.TraceEvent) {
 			Args:  map[string]any{"name": comp},
 		})
 	}
-	c.events++
-	c.write(chromeEvent{
-		Name:  ev.Name,
-		Cat:   ev.Cat,
-		Phase: "i",
-		Scope: "t",
-		TS:    float64(ev.At) / 1e6, // picoseconds -> microseconds
-		TID:   tid,
-		Args:  map[string]any{"detail": ev.Detail},
-	})
+	return tid
 }
 
 // write appends one record; caller holds the lock.

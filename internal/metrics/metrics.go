@@ -66,6 +66,21 @@ func (s *Snapshot) SetSeries(name string, x, y []float64) {
 	s.Series[name] = Series{X: x, Y: y}
 }
 
+// Merge folds o into s: values accumulate, series copy over (last writer
+// wins on a name collision). Merging a nil or empty snapshot — e.g. a
+// component tree that recorded nothing — is a no-op.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	for name, v := range o.Values {
+		s.Values[name] += v
+	}
+	for name, sr := range o.Series {
+		s.SetSeries(name, sr.X, sr.Y)
+	}
+}
+
 // Names returns every metric name in sorted order.
 func (s *Snapshot) Names() []string {
 	names := make([]string, 0, len(s.Values))

@@ -11,7 +11,10 @@ import (
 const DefaultTimelineInterval = 250 * sim.Microsecond
 
 // maxTimelineSamples bounds each timeline so very long runs (scale 1) keep
-// snapshots a fixed size; a timeline that hits the cap simply ends there.
+// snapshots a fixed size. A timeline reaching the cap is decimated: every
+// other sample is dropped and the interval doubles, so sampling covers the
+// whole run at progressively coarser resolution instead of silently ending
+// at the cap.
 const maxTimelineSamples = 512
 
 // Timelines samples cluster-wide gauges at a fixed simulated interval
@@ -45,7 +48,7 @@ func StartTimelines(c *cluster.Cluster, interval sim.Time) *Timelines {
 		}
 	}
 	prevBusy := sim.Time(0)
-	t.start(c, "timeline/link_util", interval, func() float64 {
+	t.start(c, "timeline/link_util", interval, func(iv sim.Time) float64 {
 		total := sim.Time(0)
 		for _, l := range links {
 			total += l.BusyTime()
@@ -55,10 +58,10 @@ func StartTimelines(c *cluster.Cluster, interval sim.Time) *Timelines {
 		if len(links) == 0 {
 			return 0
 		}
-		return float64(d) / (float64(interval) * float64(len(links)))
+		return float64(d) / (float64(iv) * float64(len(links)))
 	})
 
-	t.start(c, "timeline/queue_depth", interval, func() float64 {
+	t.start(c, "timeline/queue_depth", interval, func(sim.Time) float64 {
 		n := 0
 		for _, sw := range c.Switches {
 			n += sw.QueuedPackets()
@@ -67,24 +70,24 @@ func StartTimelines(c *cluster.Cluster, interval sim.Time) *Timelines {
 	})
 
 	prevBytes := int64(0)
-	t.start(c, "timeline/io_mbps", interval, func() float64 {
+	t.start(c, "timeline/io_mbps", interval, func(iv sim.Time) float64 {
 		total := int64(0)
 		for _, h := range c.Hosts {
 			total += h.Traffic()
 		}
 		d := total - prevBytes
 		prevBytes = total
-		return float64(d) / interval.Seconds() / 1e6
+		return float64(d) / iv.Seconds() / 1e6
 	})
 
 	// Fault timelines exist only when a fault plan is armed, so zero-fault
 	// snapshots keep exactly the three standard series.
 	if fc := c.FaultCounts; fc != nil {
-		t.start(c, "timeline/fault_injected", interval, func() float64 {
+		t.start(c, "timeline/fault_injected", interval, func(sim.Time) float64 {
 			injected, _ := fc()
 			return float64(injected)
 		})
-		t.start(c, "timeline/retry_recovered", interval, func() float64 {
+		t.start(c, "timeline/retry_recovered", interval, func(sim.Time) float64 {
 			_, recovered := fc()
 			return float64(recovered)
 		})
@@ -92,13 +95,22 @@ func StartTimelines(c *cluster.Cluster, interval sim.Time) *Timelines {
 	return t
 }
 
-func (t *Timelines) start(c *cluster.Cluster, name string, interval sim.Time, fn func() float64) {
+// start wires one sampled gauge. fn receives the interval that elapsed
+// since the previous sample — the rate-series denominator — because
+// decimation doubles it mid-run: once the series would exceed
+// maxTimelineSamples, it is decimated in place (2x coarser, same span) and
+// sampling continues at the doubled interval instead of stopping.
+func (t *Timelines) start(c *cluster.Cluster, name string, interval sim.Time, fn func(iv sim.Time) float64) {
 	var s *sim.Sampler
 	s = sim.StartSampler(c.Eng, interval, func() float64 {
-		if s.N()+1 >= maxTimelineSamples {
-			s.Stop()
+		// The value first (its window was covered by the current interval),
+		// then the decimation, then the sampler appends the pair — which
+		// lands on the doubled grid.
+		v := fn(s.Interval())
+		if s.N() >= maxTimelineSamples-1 {
+			s.Decimate()
 		}
-		return fn()
+		return v
 	})
 	t.samplers[name] = s
 }

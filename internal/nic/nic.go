@@ -54,6 +54,9 @@ type txJob struct {
 	msg   *san.Message
 	done  *sim.Latch
 	local int64
+	// at is the Post time, recorded only when telemetry is armed: the
+	// origin the NIC hop (and the end-to-end sample) measures from.
+	at sim.Time
 }
 
 // NIC is one host channel adapter.
@@ -80,6 +83,13 @@ type NIC struct {
 	// caches drop stale copies of the buffer (DMA coherence).
 	invalidate func(base, n int64)
 
+	// Telemetry hooks (nil = off): stamp mints an in-band record for each
+	// outgoing packet, complete consumes one at final delivery. maxTxQueue
+	// is the transmit-queue high-water mark, tracked only while armed.
+	stamp      san.Stamper
+	complete   san.Completer
+	maxTxQueue int
+
 	flows   int64
 	stats   Stats
 	started bool
@@ -87,6 +97,18 @@ type NIC struct {
 
 // SetInvalidator installs the DMA-coherence callback.
 func (n *NIC) SetInvalidator(fn func(base, n int64)) { n.invalidate = fn }
+
+// SetTelemetry arms per-packet stamping on this adapter: stamp mints the
+// record for outgoing packets, complete consumes it when an incoming
+// stamped packet finishes its DMA. Install before traffic flows.
+func (n *NIC) SetTelemetry(stamp san.Stamper, complete san.Completer) {
+	n.stamp = stamp
+	n.complete = complete
+}
+
+// MaxTxQueue reports the transmit-queue depth high-water mark (zero unless
+// telemetry was armed).
+func (n *NIC) MaxTxQueue() int { return n.maxTxQueue }
 
 // New builds an adapter for node id attached via the given links; mem is the
 // host memory channel DMA traffic is charged against.
@@ -179,7 +201,14 @@ func (n *NIC) Post(msg *san.Message, local int64) *sim.Latch {
 		msg.Hdr.Src = n.id
 	}
 	done := sim.NewLatch()
-	n.txq.Put(txJob{msg: msg, done: done, local: local})
+	job := txJob{msg: msg, done: done, local: local}
+	if n.stamp != nil {
+		job.at = n.eng.Now()
+		if d := n.txq.Len() + 1; d > n.maxTxQueue {
+			n.maxTxQueue = d
+		}
+	}
+	n.txq.Put(job)
 	return done
 }
 
@@ -234,6 +263,9 @@ func (n *NIC) accept(p *sim.Proc, pkt *san.Packet) {
 		}
 	}
 	tail := n.in.TailTime(p.Now(), pkt.Size)
+	if st := pkt.Stamp; st != nil && n.complete != nil {
+		n.complete(st, tail, pkt.Hdr.Type)
+	}
 	n.stats.PacketsIn++
 	n.stats.BytesIn += pkt.Size
 	key := flowKey{src: pkt.Hdr.Src, flow: pkt.Hdr.Flow}
@@ -281,6 +313,11 @@ func (n *NIC) txLoop(p *sim.Proc) {
 			if pkt.Size > 0 {
 				off := int64(pkt.Hdr.Seq) * san.MTU
 				n.mem.Reserve(job.local+off, pkt.Size)
+			}
+			if n.stamp != nil {
+				st := n.stamp(job.at)
+				st.Add(san.HopNIC, n.name, job.at, p.Now())
+				pkt.Stamp = st
 			}
 			n.out.Send(p, pkt)
 			if n.tx != nil {

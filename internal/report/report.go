@@ -158,10 +158,23 @@ func pctDelta(before, after float64) float64 {
 type Regression struct {
 	Experiment string
 	Config     string // config label, or the series name for series drifts
-	Metric     string // "time", "traffic", "series-max" or "metric:<name>"
+	Metric     string // "time", "traffic", "series-max", "metric:<name>" or "quantile:<name>"
 	Before     float64
 	After      float64
 	DeltaPct   float64
+}
+
+// quantileField reports whether a snapshot metric name is a latency
+// quantile from a telemetry histogram. Those are labeled "quantile:" in
+// drift reports so sandiff output separates distribution-shape drift from
+// counter drift.
+func quantileField(name string) bool {
+	for _, suf := range []string{"/p50", "/p90", "/p99", "/p999"} {
+		if strings.HasSuffix(name, suf) {
+			return true
+		}
+	}
+	return false
 }
 
 func (r Regression) String() string {
@@ -208,8 +221,12 @@ func Regressions(before, after []*stats.Result, thresholdPct float64) []Regressi
 			flag(ra.ID, runA.Config, "time", float64(runB.Time), float64(runA.Time))
 			flag(ra.ID, runA.Config, "traffic", float64(runB.Traffic), float64(runA.Traffic))
 			for _, d := range metrics.Diff(runB.Metrics, runA.Metrics, thresholdPct) {
+				label := "metric:"
+				if quantileField(d.Name) {
+					label = "quantile:"
+				}
 				out = append(out, Regression{
-					Experiment: ra.ID, Config: runA.Config, Metric: "metric:" + d.Name,
+					Experiment: ra.ID, Config: runA.Config, Metric: label + d.Name,
 					Before: d.Before, After: d.After, DeltaPct: d.DeltaPct,
 				})
 			}

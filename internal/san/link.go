@@ -80,6 +80,10 @@ type Link struct {
 	stats   LinkStats
 	inj     LinkInjector
 	down    bool
+	// minCredits is the credit low-water mark, tracked only for stamped
+	// packets so the telemetry-off path stays untouched; cfg.Credits until
+	// telemetry observes the link.
+	minCredits int
 }
 
 // NewLink builds a link.
@@ -88,12 +92,13 @@ func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
 		panic("san: link needs at least one credit")
 	}
 	return &Link{
-		eng:     eng,
-		name:    name,
-		cfg:     cfg,
-		line:    sim.NewServer(eng, name+".line"),
-		credits: sim.NewSemaphore(cfg.Credits),
-		rx:      sim.NewQueue[*Packet](),
+		eng:        eng,
+		name:       name,
+		cfg:        cfg,
+		line:       sim.NewServer(eng, name+".line"),
+		credits:    sim.NewSemaphore(cfg.Credits),
+		rx:         sim.NewQueue[*Packet](),
+		minCredits: cfg.Credits,
 	}
 }
 
@@ -105,6 +110,11 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 
 // Stats returns a copy of the traffic counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// MinCredits reports the credit low-water mark seen by stamped packets —
+// the backpressure watermark the telemetry recorder harvests. Equal to the
+// configured credit count until telemetry observes contention.
+func (l *Link) MinCredits() int { return l.minCredits }
 
 // Utilization reports line occupancy over elapsed time.
 func (l *Link) Utilization() float64 { return l.line.Utilization() }
@@ -156,6 +166,12 @@ func (l *Link) xmit(pkt *Packet) (end sim.Time) {
 	headAt := end - sim.TransferTime(pkt.Size, l.cfg.BandwidthBytesPerSec) + l.cfg.Propagation
 	l.stats.Packets++
 	l.stats.Bytes += pkt.Size
+	if st := pkt.Stamp; st != nil {
+		st.Add(HopWire, l.name, l.eng.Now(), headAt)
+		if a := l.credits.Available(); a < l.minCredits {
+			l.minCredits = a
+		}
+	}
 	if l.inj == nil && !l.down {
 		l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
 		return end

@@ -106,6 +106,10 @@ type Packet struct {
 	// by fault injection, on a copy — the sender's packet stays clean for
 	// retransmission). Receivers treat it as a CRC failure and discard.
 	Corrupt bool
+	// Stamp is the in-band telemetry record (nil = telemetry off). Every
+	// stage on the data path checks for nil before touching it, so the
+	// disarmed configuration costs one pointer test per stage.
+	Stamp *Stamp
 }
 
 // Wire returns the packet's on-wire size including the header.

@@ -1,0 +1,100 @@
+package san
+
+import "activesan/internal/sim"
+
+// HopKind labels one stage of a packet's path through the fabric. The
+// per-hop telemetry decomposition (OBSERVABILITY.md) buckets latency by
+// these kinds: wire vs queueing vs handler time is the paper's
+// active-vs-passive path-length argument made measurable.
+type HopKind uint8
+
+const (
+	// HopNIC is host NIC time: from message post to wire injection.
+	HopNIC HopKind = iota
+	// HopWire is link serialization plus propagation.
+	HopWire
+	// HopRoute is switch route lookup and arbitration.
+	HopRoute
+	// HopQueue is time spent parked in a switch output queue.
+	HopQueue
+	// HopHandler is active-plane time: dispatch, admission and handler
+	// execution inside the switch.
+	HopHandler
+	// HopDisk is storage-node time: request queueing, seek and media read.
+	HopDisk
+	// NumHopKinds bounds arrays indexed by HopKind.
+	NumHopKinds
+)
+
+func (k HopKind) String() string {
+	switch k {
+	case HopNIC:
+		return "nic"
+	case HopWire:
+		return "wire"
+	case HopRoute:
+		return "route"
+	case HopQueue:
+		return "queue"
+	case HopHandler:
+		return "handler"
+	case HopDisk:
+		return "disk"
+	}
+	return "unknown"
+}
+
+// Hop is one per-hop telemetry entry appended in-band as the packet moves.
+type Hop struct {
+	Kind  HopKind
+	Comp  string // component name ("sw0", "link h0->sw0", ...)
+	Start sim.Time
+	End   sim.Time
+}
+
+// Stamp is the lightweight in-band telemetry record a packet carries
+// (INT-style): the origin time plus one Hop per stage. A nil Packet.Stamp
+// means telemetry is off — every producer on the data path guards on that,
+// so the disarmed fast path pays only a pointer test.
+//
+// Hops are appended strictly in path order, and at most one hop is open
+// (started, not yet ended) at a time: stages with a known duration call
+// Add, stages that span a queue call Open at enqueue and Close at dequeue.
+type Stamp struct {
+	// Origin is the ingress time the end-to-end sample measures from.
+	Origin sim.Time
+	// Hops are the per-stage entries, in path order.
+	Hops []Hop
+
+	open bool
+}
+
+// Add appends a completed hop.
+func (st *Stamp) Add(kind HopKind, comp string, start, end sim.Time) {
+	st.Hops = append(st.Hops, Hop{Kind: kind, Comp: comp, Start: start, End: end})
+}
+
+// Open appends a hop whose end is not yet known (e.g. entering a queue).
+func (st *Stamp) Open(kind HopKind, comp string, at sim.Time) {
+	st.Hops = append(st.Hops, Hop{Kind: kind, Comp: comp, Start: at})
+	st.open = true
+}
+
+// Close ends the most recently opened hop; a no-op when none is open, so
+// drop paths can abandon a packet without unwinding its stamp.
+func (st *Stamp) Close(at sim.Time) {
+	if !st.open {
+		return
+	}
+	st.Hops[len(st.Hops)-1].End = at
+	st.open = false
+}
+
+// Stamper mints a stamp for a packet entering the fabric. Components hold
+// one as a settable hook so the telemetry recorder can count mints without
+// this package importing it.
+type Stamper func(origin sim.Time) *Stamp
+
+// Completer consumes a finished stamp at the packet's final delivery,
+// folding it into per-hop and end-to-end latency histograms.
+type Completer func(st *Stamp, done sim.Time, typ Type)

@@ -16,6 +16,10 @@ var strictRoutes atomic.Bool
 // SetStrictRoutes toggles fail-fast behavior on unroutable packets.
 func SetStrictRoutes(v bool) { strictRoutes.Store(v) }
 
+// StrictRoutes reports whether unroutable packets fail fast; the flight
+// recorder uses it to decide whether a no_route_drop event is a trigger.
+func StrictRoutes() bool { return strictRoutes.Load() }
+
 // SwitchConfig sets the base switch parameters.
 type SwitchConfig struct {
 	// Ports is the number of external ports.
@@ -275,6 +279,9 @@ func (s *Switch) inputLoop(p *sim.Proc, i int) {
 	in := s.ports[i].In
 	for {
 		pkt := in.Recv(p)
+		if st := pkt.Stamp; st != nil {
+			st.Open(HopRoute, s.name, p.Now())
+		}
 		p.Sleep(s.cfg.RoutingLatency)
 		if s.eng.Tracing() {
 			s.eng.Emit("packet", "recv", s.name,
@@ -295,6 +302,9 @@ func (s *Switch) inputLoop(p *sim.Proc, i int) {
 				in.ReturnCredit()
 				continue
 			}
+			if st := pkt.Stamp; st != nil {
+				st.Close(p.Now())
+			}
 			s.local.Deliver(p, pkt, in.FillRate())
 			in.ReturnCredit()
 			continue
@@ -310,6 +320,10 @@ func (s *Switch) inputLoop(p *sim.Proc, i int) {
 		}
 		s.pool.Acquire(p)
 		s.stats.Routed++
+		if st := pkt.Stamp; st != nil {
+			st.Close(p.Now())
+			st.Open(HopQueue, s.name, p.Now())
+		}
 		s.outQ[out].Put(pkt)
 		s.noteDepth(out)
 		in.ReturnCredit()
@@ -331,6 +345,9 @@ func (s *Switch) outputLoop(p *sim.Proc, i int) {
 	out := s.ports[i].Out
 	for {
 		pkt := s.outQ[i].Get(p)
+		if st := pkt.Stamp; st != nil {
+			st.Close(p.Now())
+		}
 		out.Send(p, pkt)
 		s.pool.Release()
 	}
@@ -349,6 +366,9 @@ func (s *Switch) Inject(p *sim.Proc, pkt *Packet) error {
 	}
 	s.pool.Acquire(p)
 	s.stats.Routed++
+	if st := pkt.Stamp; st != nil {
+		st.Open(HopQueue, s.name, p.Now())
+	}
 	s.outQ[out].Put(pkt)
 	s.noteDepth(out)
 	return nil

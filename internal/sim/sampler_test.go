@@ -72,6 +72,62 @@ func TestSamplerStopFromCallback(t *testing.T) {
 	}
 }
 
+func TestSamplerDecimate(t *testing.T) {
+	// Decimating from the sampling fn halves the series in place, doubles
+	// the interval, and keeps sampling — the timeline cap behaviour. The
+	// kept samples land exactly on the doubled grid, as if the sampler had
+	// run at the coarser interval all along.
+	const cap = 8
+	e := NewEngine()
+	var s *Sampler
+	s = StartSampler(e, 10*Microsecond, func() float64 {
+		v := float64(s.Interval())
+		if s.N() >= cap-1 {
+			s.Decimate()
+		}
+		return v
+	})
+	e.Spawn("work", func(p *Proc) {
+		p.Sleep(400 * Microsecond)
+		s.Stop()
+	})
+	e.Run()
+	if s.N() >= cap {
+		t.Fatalf("decimating sampler holds %d samples, want < %d", s.N(), cap)
+	}
+	if s.Interval() <= 10*Microsecond {
+		t.Fatalf("interval = %v after decimation, want > 10us", s.Interval())
+	}
+	// X must be strictly increasing and evenly spaced at the final interval
+	// over the tail (all samples re-land on the doubled grid each round).
+	for i := 1; i < s.N(); i++ {
+		if s.X[i] <= s.X[i-1] {
+			t.Fatalf("X not increasing at %d: %v", i, s.X)
+		}
+	}
+	step := s.Interval().Seconds()
+	for i := 1; i < s.N(); i++ {
+		if d := s.X[i] - s.X[i-1]; d < step*0.999 || d > step*1.001 {
+			t.Fatalf("spacing at %d = %gs, want %gs (X=%v)", i, d, step, s.X)
+		}
+	}
+	// The fn above records the interval each sample was taken with; the
+	// surviving samples' values must match intervals that were live then
+	// (powers of two times the base).
+	for i, y := range s.Y {
+		iv := Time(y)
+		ok := false
+		for k := 10 * Microsecond; k <= s.Interval(); k *= 2 {
+			if iv == k {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("sample %d recorded interval %v, not a power-of-two multiple of 10us", i, iv)
+		}
+	}
+}
+
 func TestSamplerStopBeforeRun(t *testing.T) {
 	// Stopping before the engine ever runs is a no-op start: no samples,
 	// no leaked proc, no events left behind.
