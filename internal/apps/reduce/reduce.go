@@ -9,6 +9,7 @@
 package reduce
 
 import (
+	"time"
 	"fmt"
 	"runtime"
 	"sync"
@@ -195,11 +196,15 @@ type sliceMsg struct {
 	Vals []int64
 }
 
-// Result is one reduction run's outcome.
+// Result is one reduction run's outcome. EngineWall is the host wall-clock
+// the simulation run phase took (the Engine.Run or Group.Run call alone, no
+// cluster construction or teardown) — what the partitioned-engine benchmarks
+// compare.
 type Result struct {
-	Latency sim.Time
-	Final   []int64
-	Correct bool
+	Latency    sim.Time
+	Final      []int64
+	Correct    bool
+	EngineWall time.Duration
 }
 
 // sliceBounds gives node j's share [lo, hi) of an elems-long vector.
@@ -273,28 +278,64 @@ func RunOn(eng *sim.Engine, c *cluster.Cluster, kind Kind, active bool, p int, p
 	c.Start()
 	final := make([]int64, elems)
 	var finish sim.Time
-	setFinish := func(t sim.Time) {
-		if t > finish {
-			finish = t
+	var wall time.Duration
+	if c.Group == nil {
+		setFinish := func(t sim.Time) {
+			if t > finish {
+				finish = t
+			}
+		}
+		var wg sim.WaitGroup
+		wg.Add(p)
+		for j := 0; j < p; j++ {
+			j := j
+			h := c.Host(j)
+			eng.Spawn(fmt.Sprintf("red-h%d", j), func(proc *sim.Proc) {
+				defer wg.Done()
+				if active {
+					runActiveHost(proc, c, h, j, p, kind, prm, slot[h.ID()], final, setFinish)
+				} else {
+					runMSTHost(proc, c, h, j, p, kind, prm, hostIDs, final, setFinish)
+				}
+			})
+		}
+		eng.Spawn("red-main", func(proc *sim.Proc) { wg.Wait(proc) })
+		zr := time.Now()
+		eng.Run()
+		wall = time.Since(zr)
+	} else {
+		// Partitioned: each host's collective process runs on its own
+		// partition's engine. Group.Run drains every partition, so no
+		// cross-engine WaitGroup is needed; finish times land in per-host
+		// slots (each touched only by its own partition) and fold after the
+		// barrier loop ends. Hosts writing `final` already touch disjoint
+		// elements (or only host 0 writes), so the snapshot is race-free.
+		finishes := make([]sim.Time, p)
+		for j := 0; j < p; j++ {
+			j := j
+			h := c.Host(j)
+			c.EngineFor(h.ID()).Spawn(fmt.Sprintf("red-h%d", j), func(proc *sim.Proc) {
+				setFinish := func(t sim.Time) {
+					if t > finishes[j] {
+						finishes[j] = t
+					}
+				}
+				if active {
+					runActiveHost(proc, c, h, j, p, kind, prm, slot[h.ID()], final, setFinish)
+				} else {
+					runMSTHost(proc, c, h, j, p, kind, prm, hostIDs, final, setFinish)
+				}
+			})
+		}
+		zr := time.Now()
+		c.Group.Run()
+		wall = time.Since(zr)
+		for _, t := range finishes {
+			if t > finish {
+				finish = t
+			}
 		}
 	}
-	var wg sim.WaitGroup
-	wg.Add(p)
-
-	for j := 0; j < p; j++ {
-		j := j
-		h := c.Host(j)
-		eng.Spawn(fmt.Sprintf("red-h%d", j), func(proc *sim.Proc) {
-			defer wg.Done()
-			if active {
-				runActiveHost(proc, c, h, j, p, kind, prm, slot[h.ID()], final, setFinish)
-			} else {
-				runMSTHost(proc, c, h, j, p, kind, prm, hostIDs, final, setFinish)
-			}
-		})
-	}
-	eng.Spawn("red-main", func(proc *sim.Proc) { wg.Wait(proc) })
-	eng.Run()
 	c.Shutdown()
 
 	want := Expected(prm.Op, p, elems)
@@ -305,7 +346,7 @@ func RunOn(eng *sim.Engine, c *cluster.Cluster, kind Kind, active bool, p int, p
 			break
 		}
 	}
-	return Result{Latency: finish, Final: final, Correct: ok}
+	return Result{Latency: finish, Final: final, Correct: ok, EngineWall: wall}
 }
 
 // reduceHandler combines arriving vectors and propagates partials up the

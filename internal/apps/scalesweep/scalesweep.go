@@ -24,14 +24,23 @@ import (
 type Params struct {
 	// HostCounts are the swept cluster sizes.
 	HostCounts []int
+	// Partitions selects the simulation engine layout per point: negative
+	// follows the process-wide -partitions flag (cluster.DefaultPartitions),
+	// 0 picks automatically from each point's topology, 1 forces the serial
+	// engine, and n >= 2 forces exactly n partitions. Results are
+	// byte-identical whatever the value; see PERFORMANCE.md.
+	Partitions int
 	// Reduce calibrates the collective at every point.
 	Reduce reduce.Params
 }
 
-// DefaultParams sweeps 4 to 64 hosts with the paper's 512-byte vectors.
+// DefaultParams sweeps 4 to 1024 hosts with the paper's 512-byte vectors,
+// following the process-wide partition setting. The 256- and 1024-host
+// points (k=12 and k=16 trees) are where partitioned simulation pays off.
 func DefaultParams() Params {
 	return Params{
-		HostCounts: []int{4, 8, 16, 32, 64},
+		HostCounts: []int{4, 8, 16, 32, 64, 256, 1024},
+		Partitions: -1,
 		Reduce:     reduce.DefaultParams(),
 	}
 }
@@ -47,12 +56,19 @@ type Point struct {
 }
 
 // RunPoint measures one variant at one cluster size on the minimal fat
-// tree. The cluster outlives the run so NIC counters can be harvested.
+// tree with the serial engine. The cluster outlives the run so NIC counters
+// can be harvested.
 func RunPoint(hosts int, active bool, prm reduce.Params) Point {
-	eng := sim.NewEngine()
+	return RunPointParts(hosts, active, prm, 1)
+}
+
+// RunPointParts is RunPoint over `partitions` simulation partitions (0 =
+// auto from the topology, 1 = serial). Byte-identical to RunPoint at every
+// partition count.
+func RunPointParts(hosts int, active bool, prm reduce.Params, partitions int) Point {
 	cfg := cluster.DefaultFatTreeConfig(hosts)
-	c := cluster.NewFatTreeCluster(eng, cfg)
-	r := reduce.RunOn(eng, c, reduce.ToOne, active, hosts, prm)
+	c := cluster.NewPartitionedFatTreeCluster(cfg, partitions)
+	r := reduce.RunOn(c.Eng, c, reduce.ToOne, active, hosts, prm)
 	var bytes int64
 	for _, h := range c.Hosts {
 		bytes += h.Traffic()
@@ -85,11 +101,15 @@ func RunAllParallel(prm Params, workers int) *stats.Result {
 	if workers > len(prm.HostCounts) {
 		workers = len(prm.HostCounts)
 	}
+	parts := prm.Partitions
+	if parts < 0 {
+		parts = cluster.DefaultPartitions()
+	}
 	type pair struct{ passive, active Point }
 	points := make([]pair, len(prm.HostCounts))
 	runIdx := func(i int) {
-		points[i].passive = RunPoint(prm.HostCounts[i], false, prm.Reduce)
-		points[i].active = RunPoint(prm.HostCounts[i], true, prm.Reduce)
+		points[i].passive = RunPointParts(prm.HostCounts[i], false, prm.Reduce, parts)
+		points[i].active = RunPointParts(prm.HostCounts[i], true, prm.Reduce, parts)
 	}
 	if workers <= 1 {
 		for i := range prm.HostCounts {

@@ -91,3 +91,30 @@ func TestEveryPointCorrect(t *testing.T) {
 		t.Errorf("%d series, want 5 (two latency, two host-byte, speedup)", len(res.Series))
 	}
 }
+
+// TestSerialVsPartitionedByteIdentity is the determinism contract at the
+// sweep's own level: one point measured through the serial engine and
+// through 2 and 4 partitions must agree on every field — virtual latency,
+// host bytes, correctness — not approximately but exactly. Any conservatism
+// bug in the partition barriers (a message injected late, a reordered
+// same-time pair) shows up here as a latency or byte diff.
+func TestSerialVsPartitionedByteIdentity(t *testing.T) {
+	hosts := 64
+	if testing.Short() {
+		hosts = 16
+	}
+	prm := DefaultParams().Reduce
+	for _, active := range []bool{false, true} {
+		want := RunPointParts(hosts, active, prm, 1)
+		if !want.Correct {
+			t.Fatalf("active=%v: serial point incorrect", active)
+		}
+		for _, parts := range []int{2, 4} {
+			got := RunPointParts(hosts, active, prm, parts)
+			if got != want {
+				t.Errorf("active=%v partitions=%d diverges from serial:\n got %+v\nwant %+v",
+					active, parts, got, want)
+			}
+		}
+	}
+}

@@ -35,6 +35,7 @@ type Common struct {
 	Faults     string
 	FaultSeed  uint64
 	Topology   string
+	Partitions int
 	HandlerSrc string
 	Telemetry  bool
 	FlightRec  string
@@ -61,6 +62,8 @@ func Register() *Common {
 	flag.Uint64Var(&c.FaultSeed, "fault-seed", 0, "override the fault plan's PRNG seed (requires -faults)")
 	flag.StringVar(&c.Topology, "topology", "tree",
 		"collective topology: tree (the paper's reduction tree), fattree, or fattree:K (see TOPOLOGIES.md)")
+	flag.IntVar(&c.Partitions, "partitions", 1,
+		"simulation partitions per cluster: 1 = serial engine, 0 = auto from topology size, N = exactly N; results are byte-identical at any value (see PERFORMANCE.md)")
 	flag.StringVar(&c.HandlerSrc, "handler-src", "",
 		"compile this HDL handler source file and add it to the hdlsweep experiment (see HANDLERS.md)")
 	flag.BoolVar(&c.Telemetry, "telemetry", false,
@@ -106,6 +109,10 @@ func (c *Common) Setup() (cleanup func(), err error) {
 		return noop, fmt.Errorf("-topology: %w", err)
 	}
 	cluster.SetDefaultTopology(kind, k)
+	if c.Partitions < 0 {
+		return noop, fmt.Errorf("-partitions: count %d must be >= 0 (0 = auto)", c.Partitions)
+	}
+	cluster.SetDefaultPartitions(c.Partitions)
 	if c.Faults != "" {
 		plan, err := fault.Load(c.Faults)
 		if err != nil {

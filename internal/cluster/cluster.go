@@ -17,19 +17,32 @@ import (
 	"activesan/internal/sim"
 )
 
-// Node-ID ranges keep identities readable in traces.
+// Node-ID ranges keep identities readable in traces. The store and switch
+// bases sit far above any realistic endpoint count: hosts number from 1, so
+// a base of 200 (the historical value) made host 199's id collide with
+// store 0 — and host 999 with switch 0 — silently corrupting routing tables
+// on 1000+-host fabrics. Build rejects specs that overflow a range.
 const (
 	HostIDBase   san.NodeID = 1
-	StoreIDBase  san.NodeID = 200
-	SwitchIDBase san.NodeID = 1000
+	StoreIDBase  san.NodeID = 1 << 19
+	SwitchIDBase san.NodeID = 1 << 20
 )
 
 // Cluster is a wired system ready to Start.
 type Cluster struct {
+	// Eng is the cluster's engine — rank 0's when partitioned. Run the
+	// simulation through Cluster.Run (or Group.Run) rather than Eng.Run when
+	// Group is set.
 	Eng      *sim.Engine
 	Switches []*aswitch.ActiveSwitch
 	Hosts    []*host.Host
 	Stores   []*iodev.StorageNode
+
+	// Group and Part are set by BuildPartitioned: the partition group the
+	// cluster is spread over, and each switch's partition rank by spec
+	// index. Nil/nil for single-engine clusters.
+	Group *sim.Group
+	Part  []int
 
 	// Tree describes the switch hierarchy for tree topologies (nil for
 	// single-switch clusters). For fat trees it is the overlay aggregation
@@ -88,8 +101,41 @@ func (c *Cluster) Start() {
 	}
 }
 
+// Run executes the simulation to completion — the partition group's barrier
+// loop when the cluster is partitioned, the single engine otherwise — and
+// returns the final virtual time.
+func (c *Cluster) Run() sim.Time {
+	if c.Group != nil {
+		return c.Group.Run()
+	}
+	return c.Eng.Run()
+}
+
 // Shutdown unwinds all simulation processes; call after the final Run.
-func (c *Cluster) Shutdown() { c.Eng.Shutdown() }
+func (c *Cluster) Shutdown() {
+	if c.Group != nil {
+		c.Group.Shutdown()
+		return
+	}
+	c.Eng.Shutdown()
+}
+
+// EngineFor returns the engine simulating the component with the given node
+// id — the cluster's only engine when not partitioned. Processes interacting
+// with a component (a host's collective loop, say) must be spawned on its
+// engine.
+func (c *Cluster) EngineFor(id san.NodeID) *sim.Engine {
+	if c.Group == nil || c.Topo == nil {
+		return c.Eng
+	}
+	if i, ok := c.Topo.Index[id]; ok {
+		return c.Group.Engine(c.Part[i])
+	}
+	if i, ok := c.Topo.Attach[id]; ok {
+		return c.Group.Engine(c.Part[i])
+	}
+	return c.Eng
+}
 
 // attachHost wires a new host to switch port.
 func attachHost(eng *sim.Engine, sw *aswitch.ActiveSwitch, port int, id san.NodeID, name string, cfg host.Config) *host.Host {

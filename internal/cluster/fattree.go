@@ -128,8 +128,15 @@ func FatTreeTopology(cfg FatTreeConfig) Topology {
 // that tree get an explicit Parent of san.NoNode so per-stage handlers are
 // placed only on participating edge/agg/core switches.
 func NewFatTreeCluster(eng *sim.Engine, cfg FatTreeConfig) *Cluster {
-	topo := FatTreeTopology(cfg)
-	c := Build(eng, topo)
+	c := Build(eng, FatTreeTopology(cfg))
+	fatTreeOverlay(c, cfg)
+	return c
+}
+
+// fatTreeOverlay installs the aggregation-tree shape on a built fat tree —
+// shared by the serial and partitioned constructors so both produce the
+// same TreeInfo.
+func fatTreeOverlay(c *Cluster, cfg FatTreeConfig) {
 	k := cfg.K
 	half := k / 2
 
@@ -170,5 +177,4 @@ func NewFatTreeCluster(eng *sim.Engine, cfg FatTreeConfig) *Cluster {
 	// Degenerate but legal: a fat tree with no hosts has an empty tree;
 	// collective runners require hosts anyway.
 	c.Tree = tree
-	return c
 }

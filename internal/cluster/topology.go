@@ -145,10 +145,51 @@ type TopoInfo struct {
 // Next hops strictly decrease the distance to the destination, so routes are
 // loop-free by construction whatever the tie-break.
 func Build(eng *sim.Engine, t Topology) *Cluster {
+	return build(t, eng, nil, nil)
+}
+
+// BuildPartitioned instantiates a Topology across a partition group: switch
+// i (and every endpoint attached to it) lives on g.Engine(part[i]), and each
+// trunk whose ends land in different partitions becomes a cut link — its
+// sender half stays on the sending partition while deliveries and credits
+// cross through a sim.Channel with the wire propagation as delivery
+// lookahead and the receiving switch's routing latency as credit lookahead.
+// Everything else — ids, names, port order, routing tables — is identical to
+// Build, and so are the simulation results at any partition count (see
+// PERFORMANCE.md for the determinism contract).
+func BuildPartitioned(g *sim.Group, t Topology, part []int) *Cluster {
+	if len(part) != len(t.Switches) {
+		panic(fmt.Sprintf("cluster: partition map covers %d of %d switches", len(part), len(t.Switches)))
+	}
+	for i, p := range part {
+		if p < 0 || p >= g.Len() {
+			panic(fmt.Sprintf("cluster: switch %d assigned to partition %d of %d", i, p, g.Len()))
+		}
+	}
+	return build(t, g.Engine(0), g, part)
+}
+
+// build is the shared body of Build and BuildPartitioned; eng is the default
+// engine (rank 0's when partitioned).
+func build(t Topology, eng *sim.Engine, g *sim.Group, part []int) *Cluster {
 	if err := t.Validate(); err != nil {
 		panic("cluster: " + err.Error())
 	}
 	n := len(t.Switches)
+	// The id ranges (see HostIDBase) must not overlap or routing tables
+	// silently collide.
+	if san.NodeID(len(t.Hosts)) > StoreIDBase-HostIDBase {
+		panic(fmt.Sprintf("cluster: %d hosts overflow the host id range", len(t.Hosts)))
+	}
+	if san.NodeID(len(t.Stores)) > SwitchIDBase-StoreIDBase {
+		panic(fmt.Sprintf("cluster: %d stores overflow the store id range", len(t.Stores)))
+	}
+	engOf := func(specIdx int) *sim.Engine {
+		if g == nil {
+			return eng
+		}
+		return g.Engine(part[specIdx])
+	}
 
 	// Attachment counts size auto-ported switches.
 	need := make([]int, n)
@@ -170,7 +211,7 @@ func Build(eng *sim.Engine, t Topology) *Cluster {
 		PortPeer: make([]map[int]int, n),
 		Attach:   make(map[san.NodeID]int),
 	}
-	c := &Cluster{Eng: eng, Topo: info}
+	c := &Cluster{Eng: eng, Group: g, Part: part, Topo: info}
 
 	for i, spec := range t.Switches {
 		ports := spec.Ports
@@ -182,7 +223,7 @@ func Build(eng *sim.Engine, t Topology) *Cluster {
 		}
 		cfg := t.Switch
 		cfg.Base.Ports = ports
-		sw := aswitch.New(eng, SwitchIDBase+san.NodeID(i), spec.Name, cfg)
+		sw := aswitch.New(engOf(i), SwitchIDBase+san.NodeID(i), spec.Name, cfg)
 		info.Sw[i] = sw
 		info.Index[sw.ID()] = i
 		info.PortPeer[i] = make(map[int]int)
@@ -191,18 +232,20 @@ func Build(eng *sim.Engine, t Topology) *Cluster {
 
 	// Endpoints first (hosts, then stores), so single-switch layouts keep
 	// their historical port order; trunks take the ports after them.
+	// Endpoints always share their switch's partition, so their links never
+	// cross a cut.
 	nextPort := make([]int, n)
 	for i, h := range t.Hosts {
 		id := HostIDBase + san.NodeID(i)
 		sw := info.Sw[h.Switch]
-		c.Hosts = append(c.Hosts, attachHost(eng, sw, nextPort[h.Switch], id, fmt.Sprintf("h%d", i), t.Host))
+		c.Hosts = append(c.Hosts, attachHost(engOf(h.Switch), sw, nextPort[h.Switch], id, fmt.Sprintf("h%d", i), t.Host))
 		nextPort[h.Switch]++
 		info.Attach[id] = h.Switch
 	}
 	for j, s := range t.Stores {
 		id := StoreIDBase + san.NodeID(j)
 		sw := info.Sw[s.Switch]
-		c.Stores = append(c.Stores, attachStore(eng, sw, nextPort[s.Switch], id, fmt.Sprintf("d%d", j), t.IO))
+		c.Stores = append(c.Stores, attachStore(engOf(s.Switch), sw, nextPort[s.Switch], id, fmt.Sprintf("d%d", j), t.IO))
 		nextPort[s.Switch]++
 		info.Attach[id] = s.Switch
 	}
@@ -215,8 +258,15 @@ func Build(eng *sim.Engine, t Topology) *Cluster {
 			baName = fmt.Sprintf("%s->%s", t.Switches[l.B].Name, t.Switches[l.A].Name)
 		}
 		linkCfg := t.Switch.Base.Link
-		ab := san.NewLink(eng, abName, linkCfg)
-		ba := san.NewLink(eng, baName, linkCfg)
+		// Each direction's link lives on its sender's engine; a direction
+		// whose ends straddle partitions crosses through a cut channel.
+		ab := san.NewLink(engOf(l.A), abName, linkCfg)
+		ba := san.NewLink(engOf(l.B), baName, linkCfg)
+		if g != nil && part[l.A] != part[l.B] {
+			creditLA := t.Switch.Base.RoutingLatency
+			ab.SetCross(g.Connect(part[l.A], part[l.B], linkCfg.Propagation, creditLA))
+			ba.SetCross(g.Connect(part[l.B], part[l.A], linkCfg.Propagation, creditLA))
+		}
 		info.Sw[l.A].AttachPort(nextPort[l.A], ba, ab)
 		info.Sw[l.B].AttachPort(nextPort[l.B], ab, ba)
 		info.PortPeer[l.A][nextPort[l.A]] = l.B

@@ -77,7 +77,8 @@ func Arm(c *cluster.Cluster, p *Plan, seed uint64) *Injector {
 
 	c.ExtraMetrics = in.addMetrics
 	c.FaultCounts = func() (injected, recovered int64) {
-		return in.counts.Injected, in.counts.Recovered
+		cnt := in.Counts()
+		return cnt.Injected, cnt.Recovered
 	}
 	return in
 }
@@ -103,7 +104,13 @@ func clusterLinks(c *cluster.Cluster) []*san.Link {
 	return links
 }
 
-// scheduleEvents places the plan's discrete events on the engine.
+// scheduleEvents places the plan's discrete events on the engines. On a
+// partitioned cluster a link's state lives on the engine that constructed it
+// and a switch's plane on its partition's engine, so each event is scheduled
+// per target engine — for a link flap crossing a partition cut, one event
+// per side, both at the same virtual instant. On a serial cluster every
+// target shares c.Eng and the grouping degenerates to the single-event
+// schedule it always was.
 func scheduleEvents(c *cluster.Cluster, p *Plan, in *Injector, links []*san.Link) {
 	for i, e := range p.Events {
 		e := e
@@ -120,12 +127,24 @@ func scheduleEvents(c *cluster.Cluster, p *Plan, in *Injector, links []*san.Link
 				panic(fmt.Sprintf("fault: events[%d]: no link matches %q", i, e.Link))
 			}
 			down := e.Kind == LinkDown
-			c.Eng.Schedule(at, func() {
-				for _, l := range targets {
-					l.SetDown(down)
-					in.counts.LinkEvents++
+			byEng := map[*sim.Engine][]*san.Link{}
+			var order []*sim.Engine // first-seen order keeps scheduling deterministic
+			for _, l := range targets {
+				eng := l.Engine()
+				if _, ok := byEng[eng]; !ok {
+					order = append(order, eng)
 				}
-			})
+				byEng[eng] = append(byEng[eng], l)
+			}
+			for _, eng := range order {
+				group := byEng[eng]
+				eng.Schedule(at, func() {
+					for _, l := range group {
+						l.SetDown(down)
+						in.noteLinkEvent()
+					}
+				})
+			}
 		case PortDown, PortUp:
 			sw := eventSwitch(c, i, e)
 			if e.Port < 0 || e.Port >= sw.Config().Ports {
@@ -133,28 +152,30 @@ func scheduleEvents(c *cluster.Cluster, p *Plan, in *Injector, links []*san.Link
 			}
 			port := sw.Port(e.Port)
 			down := e.Kind == PortDown
-			c.Eng.Schedule(at, func() {
-				for _, l := range []*san.Link{port.In, port.Out} {
-					if l != nil {
-						l.SetDown(down)
-						in.counts.LinkEvents++
-					}
+			// A trunk port's In link is constructed on the neighbor's engine;
+			// schedule each side where it lives.
+			for _, l := range []*san.Link{port.In, port.Out} {
+				if l == nil {
+					continue
 				}
-			})
+				l := l
+				l.Engine().Schedule(at, func() {
+					l.SetDown(down)
+					in.noteLinkEvent()
+				})
+			}
 		case HandlerCrash:
 			sw := eventSwitch(c, i, e)
-			c.Eng.Schedule(at, func() {
+			c.EngineFor(sw.ID()).Schedule(at, func() {
 				// A crash is injected and tolerated in the same breath: the
 				// recovery (host-side fallback or restart) re-does the work
 				// rather than re-delivering anything.
-				in.counts.Injected++
-				in.counts.Crashes++
-				in.counts.Tolerated++
+				in.noteCrash()
 				sw.Crash()
 			})
 		case HandlerRestart:
 			sw := eventSwitch(c, i, e)
-			c.Eng.Schedule(at, func() { sw.Restart() })
+			c.EngineFor(sw.ID()).Schedule(at, func() { sw.Restart() })
 		}
 	}
 }

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"strings"
+	"sync"
 
 	"activesan/internal/san"
 	"activesan/internal/sim"
@@ -61,9 +62,16 @@ type linkRule struct {
 
 // Injector implements san.LinkInjector and iodev.DiskInjector for one
 // cluster. It draws every probabilistic decision from a single seeded PRNG;
-// the engine serializes link transmissions, so the draw sequence — and
-// therefore the whole run — is reproducible.
+// within one engine, link transmissions are serialized, so the draw sequence
+// — and therefore the whole run — is reproducible at a fixed partition
+// count. On a partitioned cluster the injector is shared by every
+// partition's engine, so mu serializes the ledger and PRNG; scheduled
+// (flap/crash) plans stay deterministic at any partition count, while
+// probabilistic rules are reproducible per partition count (the draw
+// interleaving across engines is barrier-schedule dependent). See
+// PERFORMANCE.md.
 type Injector struct {
+	mu    sync.Mutex
 	rng   *Rand
 	rules map[*san.Link]*linkRule // nil value: observe-only link
 	disks map[string]*DiskRule    // by store name
@@ -105,10 +113,20 @@ func newInjector(seed uint64) *Injector {
 }
 
 // Counts returns a copy of the ledger.
-func (in *Injector) Counts() Counts { return in.counts }
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
 
 // Pending reports outstanding unrecovered packet losses plus disk errors.
 func (in *Injector) Pending() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.pendingLocked()
+}
+
+func (in *Injector) pendingLocked() int64 {
 	var n int64
 	for _, c := range in.pending {
 		n += c
@@ -122,7 +140,25 @@ func (in *Injector) Pending() int64 {
 // Balanced reports whether every injected fault has been recovered or
 // tolerated — the acceptance identity for a cleanly completed run.
 func (in *Injector) Balanced() bool {
-	return in.counts.Injected == in.counts.Recovered+in.counts.Tolerated && in.Pending() == 0
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts.Injected == in.counts.Recovered+in.counts.Tolerated && in.pendingLocked() == 0
+}
+
+// noteLinkEvent and noteCrash book scheduled-event transitions; the event
+// closures run on their target component's engine, so they take the lock.
+func (in *Injector) noteLinkEvent() {
+	in.mu.Lock()
+	in.counts.LinkEvents++
+	in.mu.Unlock()
+}
+
+func (in *Injector) noteCrash() {
+	in.mu.Lock()
+	in.counts.Injected++
+	in.counts.Crashes++
+	in.counts.Tolerated++
+	in.mu.Unlock()
 }
 
 // OnTransmit implements san.LinkInjector: it votes on every packet crossing
@@ -131,6 +167,8 @@ func (in *Injector) Balanced() bool {
 // recovery observer: a pending identity passing cleanly means the
 // retransmission (or reroute) worked.
 func (in *Injector) OnTransmit(l *san.Link, pkt *san.Packet) (san.FaultVerdict, sim.Time) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if l.Down() {
 		in.noteLoss(pkt)
 		in.counts.Dropped++
@@ -206,6 +244,8 @@ func (in *Injector) noteLoss(pkt *san.Packet) {
 // (a retransmission that was itself dropped after the ACK raced past it)
 // will never pass again and are tolerated.
 func (in *Injector) resolveFlow(dst san.NodeID, flow int64, of san.Type) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	fk := flowKey{dst, flow, of}
 	in.resolved[fk] = true
 	for id, n := range in.pending {
@@ -220,6 +260,8 @@ func (in *Injector) resolveFlow(dst san.NodeID, flow int64, of san.Type) {
 // storage node retries in place, so the first clean attempt on the same
 // operation recovers every failed one before it.
 func (in *Injector) OnDiskOp(node, file string, off, n int64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	r := in.disks[node]
 	if r != nil && r.Fail > 0 && in.rng.Float64() < r.Fail {
 		in.counts.Injected++
@@ -238,6 +280,8 @@ func (in *Injector) OnDiskOp(node, file string, off, n int64) bool {
 // addMetrics publishes the ledger into a metrics snapshot; installed as the
 // cluster's ExtraMetrics hook, so these keys exist only on faulted runs.
 func (in *Injector) addMetrics(add func(name string, v float64)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	c := in.counts
 	add("fault/injected", float64(c.Injected))
 	add("fault/dropped", float64(c.Dropped))
@@ -248,7 +292,7 @@ func (in *Injector) addMetrics(add func(name string, v float64)) {
 	add("fault/link_events", float64(c.LinkEvents))
 	add("fault/tolerated", float64(c.Tolerated))
 	add("fault/exempted", float64(c.Exempt))
-	add("fault/pending", float64(in.Pending()))
+	add("fault/pending", float64(in.pendingLocked()))
 	add("retry/recovered", float64(c.Recovered))
 }
 

@@ -120,6 +120,10 @@ func (h *Host) ID() san.NodeID { return h.id }
 // Name returns the host's debug name.
 func (h *Host) Name() string { return h.name }
 
+// Engine returns the engine the host runs on — its partition's engine in a
+// partitioned simulation.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
 // CPU returns the processor timing model.
 func (h *Host) CPU() *cpu.CPU { return h.cpu }
 

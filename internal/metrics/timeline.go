@@ -102,7 +102,7 @@ func StartTimelines(c *cluster.Cluster, interval sim.Time) *Timelines {
 // sampling continues at the doubled interval instead of stopping.
 func (t *Timelines) start(c *cluster.Cluster, name string, interval sim.Time, fn func(iv sim.Time) float64) {
 	var s *sim.Sampler
-	s = sim.StartSampler(c.Eng, interval, func() float64 {
+	sample := func() float64 {
 		// The value first (its window was covered by the current interval),
 		// then the decimation, then the sampler appends the pair — which
 		// lands on the doubled grid.
@@ -111,7 +111,18 @@ func (t *Timelines) start(c *cluster.Cluster, name string, interval sim.Time, fn
 			s.Decimate()
 		}
 		return v
-	})
+	}
+	if c.Group != nil {
+		// Partitioned cluster: sample at barrier epochs, where every engine
+		// sits at one coherent virtual instant, so a gauge that reads the
+		// whole fabric (all switches' queues, all links' busy time) never
+		// observes a partition mid-window. The epoch grid is the same
+		// k*interval grid the serial sampler walks, so timelines are
+		// identical at any partition count.
+		s = c.Group.StartSampler(interval, sample)
+	} else {
+		s = sim.StartSampler(c.Eng, interval, sample)
+	}
 	t.samplers[name] = s
 }
 

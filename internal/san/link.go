@@ -84,6 +84,14 @@ type Link struct {
 	// packets so the telemetry-off path stays untouched; cfg.Credits until
 	// telemetry observes the link.
 	minCredits int
+
+	// cross, when set, marks this link as a partition cut: the sender side
+	// (serialization, credits, stats) stays on eng, while deliveries hand
+	// off to the receiving partition's engine through the channel and
+	// credits return the same way. creditRet is the release callback bound
+	// once so the per-packet credit return does not allocate.
+	cross     *sim.Channel
+	creditRet func()
 }
 
 // NewLink builds a link.
@@ -104,6 +112,18 @@ func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
 
 // Name returns the link's debug name.
 func (l *Link) Name() string { return l.name }
+
+// Engine returns the engine the link's sender side runs on. For a partition
+// cut link this is the sending partition's engine.
+func (l *Link) Engine() *sim.Engine { return l.eng }
+
+// SetCross routes the link's deliveries and credit returns through a
+// cross-partition channel; call before the simulation starts, on links whose
+// receiver lives on a different engine than the sender.
+func (l *Link) SetCross(ch *sim.Channel) {
+	l.cross = ch
+	l.creditRet = l.credits.Release
+}
 
 // Config returns the link parameters.
 func (l *Link) Config() LinkConfig { return l.cfg }
@@ -173,11 +193,21 @@ func (l *Link) xmit(pkt *Packet) (end sim.Time) {
 		}
 	}
 	if l.inj == nil && !l.down {
-		l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
+		l.deliver(headAt, pkt)
 		return end
 	}
 	l.faultXmit(pkt, headAt)
 	return end
+}
+
+// deliver schedules pkt's head arrival at the receiver: directly on the
+// engine, or through the cut channel when the receiver is another partition.
+func (l *Link) deliver(headAt sim.Time, pkt *Packet) {
+	if l.cross != nil {
+		l.cross.Deliver(headAt, func() { l.rx.Put(pkt) })
+		return
+	}
+	l.eng.Schedule(headAt, func() { l.rx.Put(pkt) })
 }
 
 // faultXmit is the slow delivery path, reached only when an injector is
@@ -212,7 +242,7 @@ func (l *Link) faultXmit(pkt *Packet, headAt sim.Time) {
 	if delay > 0 {
 		l.stats.Delayed++
 	}
-	l.eng.Schedule(headAt+delay, func() { l.rx.Put(pkt) })
+	l.deliver(headAt+delay, pkt)
 }
 
 // SetInjector arms (or, with nil, disarms) fault injection on this link.
@@ -239,8 +269,17 @@ func (l *Link) Recv(p *sim.Proc) *Packet {
 // TryRecv returns a delivered packet without blocking.
 func (l *Link) TryRecv() (*Packet, bool) { return l.rx.TryGet() }
 
-// ReturnCredit hands one input-buffer slot back to the sender.
-func (l *Link) ReturnCredit() { l.credits.Release() }
+// ReturnCredit hands one input-buffer slot back to the sender. On a cut
+// link the caller runs on the receiving partition; the credit crosses back
+// at the receiver's current time so the sender observes the exact serial
+// flow-control schedule.
+func (l *Link) ReturnCredit() {
+	if l.cross != nil {
+		l.cross.Credit(l.creditRet)
+		return
+	}
+	l.credits.Release()
+}
 
 // TailTime returns when the last byte of a packet delivered at headAt
 // finishes arriving.

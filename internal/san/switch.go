@@ -129,6 +129,10 @@ func (s *Switch) ID() NodeID { return s.id }
 // Name returns the switch's debug name.
 func (s *Switch) Name() string { return s.name }
 
+// Engine returns the engine the switch runs on — its partition's engine in
+// a partitioned simulation.
+func (s *Switch) Engine() *sim.Engine { return s.eng }
+
 // Config returns the switch configuration.
 func (s *Switch) Config() SwitchConfig { return s.cfg }
 

@@ -234,3 +234,143 @@ func TestCancelRunQueueEntry(t *testing.T) {
 		t.Fatalf("fired %d same-time events, want 1 (other cancelled)", fired)
 	}
 }
+
+// --- Partition-group benchmarks -------------------------------------------
+//
+// These pin the costs the partitioned engine adds on top of the serial hot
+// paths above: the full barrier round trip, per-message cross-partition
+// handoff, and the horizon computation that bounds every round. The
+// steady-state barrier loop is gated zero-alloc like the serial paths.
+
+// BenchmarkGroupPingPong measures a full conservative round trip: one
+// message crosses the cut per barrier, so each iteration pays two complete
+// rounds (inject, horizon, window dispatch, window drain) with minimal
+// engine work inside them — the pure coordination overhead.
+func BenchmarkGroupPingPong(b *testing.B) {
+	g := NewGroup(2)
+	defer g.Shutdown()
+	ab := g.Connect(0, 1, 10, 0)
+	ba := g.Connect(1, 0, 10, 0)
+	left := b.N
+	var send, bounce func()
+	send = func() {
+		ba.Credit(nop) // retire the reply's buffer, as a real port would
+		if left == 0 {
+			return
+		}
+		left--
+		ab.Deliver(g.Engine(0).Now()+10, bounce)
+	}
+	bounce = func() {
+		ab.Credit(nop)
+		ba.Deliver(g.Engine(1).Now()+10, send)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Engine(0).Schedule(0, func() {
+		left--
+		ab.Deliver(10, bounce)
+	})
+	g.Run()
+}
+
+// BenchmarkGroupCrossSend measures bulk handoff: batches of deliveries
+// buffered in one window, sorted and injected at the next barrier. Per-op
+// cost is per message, amortizing the barrier across the batch.
+func BenchmarkGroupCrossSend(b *testing.B) {
+	g := NewGroup(2)
+	defer g.Shutdown()
+	ch := g.Connect(0, 1, 10, 0)
+	const batch = 256
+	n, sent := b.N, 0
+	ack := func() { ch.Credit(nop) }
+	var post func()
+	post = func() {
+		now := g.Engine(0).Now()
+		for i := 0; i < batch && sent < n; i++ {
+			sent++
+			ch.Deliver(now+10, ack)
+		}
+		if sent < n {
+			g.Engine(0).Schedule(now+20, post)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Engine(0).Schedule(0, post)
+	g.Run()
+}
+
+// benchHorizonGroup builds the horizon benchmark fixture: 8 fully meshed
+// partitions (56 channels) with outstanding deliveries on a quarter of them,
+// the shape of a mid-collective fat-tree round.
+func benchHorizonGroup() *Group {
+	g := NewGroup(8)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s != d {
+				g.Connect(s, d, 10, 100)
+			}
+		}
+	}
+	for _, c := range g.channels[:14] {
+		c.outstanding = append(c.outstanding, 5)
+		c.inOutst = true
+		g.outst = append(g.outst, c)
+	}
+	for i := range g.next {
+		g.next[i] = Time(100 + i)
+	}
+	return g
+}
+
+// BenchmarkGroupHorizon measures computeHorizons alone — the only
+// super-linear barrier term (relaxation over rank pairs) — at 8 partitions.
+func BenchmarkGroupHorizon(b *testing.B) {
+	g := benchHorizonGroup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.computeHorizons()
+	}
+}
+
+// TestGroupBarrierZeroAllocs gates the steady-state barrier loop: once the
+// scratch slices are grown, a ping-pong round — buffered message, dirty-list
+// drain, injection sort, horizon relaxation, window dispatch — recycles
+// everything. An accidental per-round closure or slice regrowth fails here
+// rather than taxing every partitioned run.
+func TestGroupBarrierZeroAllocs(t *testing.T) {
+	g := NewGroup(2)
+	defer g.Shutdown()
+	ab := g.Connect(0, 1, 10, 0)
+	ba := g.Connect(1, 0, 10, 0)
+	left := 0
+	var send, bounce func()
+	send = func() {
+		ba.Credit(nop)
+		if left == 0 {
+			return
+		}
+		left--
+		ab.Deliver(g.Engine(0).Now()+10, bounce)
+	}
+	bounce = func() {
+		ab.Credit(nop)
+		ba.Deliver(g.Engine(1).Now()+10, send)
+	}
+	kick := func() {
+		left--
+		ab.Deliver(g.Engine(0).Now()+10, bounce)
+	}
+	run := func() {
+		left = 1 << 10
+		g.Engine(0).Schedule(g.Engine(0).Now(), kick)
+		g.Run()
+	}
+	run() // warm: grow scratch, start workers, pool engine slots
+	allocs := testing.AllocsPerRun(5, run)
+	if allocs != 0 {
+		t.Fatalf("barrier loop allocated %.1f per run, want 0", allocs)
+	}
+}

@@ -294,6 +294,46 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// runWindow executes events with timestamps <= deadline, leaving the clock at
+// the last executed event rather than advancing it to the deadline. The
+// partition Group runs bounded lookahead windows with it: virtual time must
+// reflect only executed work, because cross-partition messages may still be
+// injected afterwards at times before the deadline.
+func (e *Engine) runWindow(deadline Time) {
+	e.stopped = false
+	e.deadline = deadline
+	e.driveMain()
+}
+
+// nextEventTime reports the earliest pending event's timestamp. Cancelled
+// run-queue entries at the head are reclaimed on the way, so dead timers
+// cannot masquerade as pending work.
+func (e *Engine) nextEventTime() (Time, bool) {
+	for e.runqHead < len(e.runq) {
+		idx := e.runq[e.runqHead]
+		ev := &e.pool[idx]
+		if ev.fn != nil || ev.proc != nil {
+			break
+		}
+		e.runqHead++
+		if e.runqHead == len(e.runq) {
+			e.runq = e.runq[:0]
+			e.runqHead = 0
+		}
+		e.release(idx)
+	}
+	best, ok := Time(0), false
+	if e.runqHead < len(e.runq) {
+		best, ok = e.pool[e.runq[e.runqHead]].at, true
+	}
+	if len(e.heap) > 0 {
+		if at := e.pool[e.heap[0]].at; !ok || at < best {
+			best, ok = at, true
+		}
+	}
+	return best, ok
+}
+
 // driveMain is the Run caller's drive loop. It fires callbacks inline; when
 // an event resumes a process it hands that goroutine the control token and
 // parks until a driver — whichever process goroutine holds control when the
