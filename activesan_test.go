@@ -9,8 +9,8 @@ import (
 
 func TestExperimentsListComplete(t *testing.T) {
 	exps := activesan.Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("experiments = %d, want 16 (2 tables + 9 figure entries + 5 extensions)", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("experiments = %d, want 17 (2 tables + 9 figure entries + 6 extensions)", len(exps))
 	}
 	for _, e := range exps {
 		if e.ID == "" || e.Paper == "" || e.Title == "" || e.Run == nil {

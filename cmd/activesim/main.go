@@ -19,6 +19,7 @@
 //	activesim -run fig3 -telemetry             # per-hop latency histograms
 //	activesim -run fig3 -faults plan.json -flight-recorder flight.txt
 //	activesim -run latsweep                    # per-hop active-vs-passive figure
+//	activesim -run collsweep                   # in-network collectives + spill cliff
 //
 // -telemetry stamps every packet with a per-hop record and folds
 // end-to-end/per-hop latency histograms, per-flow path breakdowns and
@@ -37,6 +38,12 @@
 // "fattree" (the smallest k-ary fat tree holding the hosts), or
 // "fattree:K" for a fixed arity — see TOPOLOGIES.md for the routing and
 // handler-placement rules. The scalesweep experiment always uses fat trees.
+//
+// -collective selects the op the collsweep experiment scales (allreduce by
+// default; barrier, scatter, gather, keyagg), and -agg-budget sizes the
+// keyagg per-switch key table — smaller budgets spill un-aggregated
+// records toward the root, the cliff collsweep's budget axis pins. See
+// COLLECTIVES.md.
 //
 // -handler-src compiles an HDL handler source file (the declarative handler
 // language of HANDLERS.md) and adds it to the hdlsweep experiment alongside

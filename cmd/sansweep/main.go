@@ -8,6 +8,7 @@
 //	sansweep -sweep reduce -kind dist -nodes 2,4,8,16,32,64,128
 //	sansweep -sweep md5 -cpus 1,2,3,4
 //	sansweep -sweep sort -hosts 2,4,8 -records 262144
+//	sansweep -sweep collective -collective allreduce -nodes 4,16,64
 //
 // Sweep points are independent simulations, so they fan out over -parallel
 // worker goroutines (default: the CPU count); output order is always the
@@ -38,6 +39,13 @@
 // -handler-src compiles an HDL handler source file (see HANDLERS.md) and
 // installs it process-wide; it is shared flag wiring with cmd/activesim,
 // where the hdlsweep experiment picks the handler up.
+//
+// -sweep collective compares each in-network collective (see
+// COLLECTIVES.md) against its host-only reference over -nodes host counts;
+// -collective picks the op (allreduce, barrier, scatter, gather, keyagg)
+// and -agg-budget sizes the keyagg per-switch key table, e.g.
+//
+//	sansweep -sweep collective -collective keyagg -agg-budget 8 -nodes 16
 package main
 
 import (
@@ -52,11 +60,14 @@ import (
 
 	"activesan/internal/ablation"
 	"activesan/internal/apps"
+	"activesan/internal/apps/collsweep"
 	"activesan/internal/apps/md5app"
 	"activesan/internal/apps/psort"
 	"activesan/internal/apps/reduce"
 	"activesan/internal/apps/twolevel"
 	"activesan/internal/cliflags"
+	"activesan/internal/cluster"
+	"activesan/internal/collective"
 	"activesan/internal/metrics"
 	"activesan/internal/stats"
 )
@@ -178,7 +189,7 @@ func main() { os.Exit(realMain()) }
 // flight-recorder dump, metrics write) runs before the process exits —
 // even when the sweep crashes.
 func realMain() int {
-	sweep := flag.String("sweep", "reduce", "what to sweep: reduce | md5 | sort | ablation | twolevel")
+	sweep := flag.String("sweep", "reduce", "what to sweep: reduce | md5 | sort | collective | ablation | twolevel")
 	kind := flag.String("kind", "one", "reduction kind: one | dist | all")
 	nodes := flag.String("nodes", "2,4,8,16,32,64,128", "node counts for -sweep reduce")
 	cpus := flag.String("cpus", "1,2,3,4", "switch CPU counts for -sweep md5")
@@ -247,6 +258,43 @@ func realMain() int {
 				record(fmt.Sprintf("md5/%s/cpus=%d", r.Config, c), r)
 				return fmt.Sprintf("%-20s %v  speedup %.2f\n", r.Config, r.Time,
 					float64(normal.Time)/float64(r.Time))
+			})
+
+		case "collective":
+			// -collective picks the op, -agg-budget the keyagg table size,
+			// -topology/-partitions the cluster; the points are fat trees.
+			op := collective.DefaultOp()
+			parts := cluster.DefaultPartitions()
+			sweepLines(parseInts(*nodes), *parallel, func(p int) string {
+				prm := collective.DefaultParams()
+				if op == collective.KeyAgg {
+					b := collective.DefaultBudget()
+					pas := collsweep.RunBudgetPoint(p, 0, false, prm, parts)
+					act := collsweep.RunBudgetPoint(p, b, true, prm, parts)
+					record(fmt.Sprintf("collective/keyagg/passive/p=%d", p),
+						stats.Run{Config: "passive", Metrics: pas.Metrics})
+					record(fmt.Sprintf("collective/keyagg/active/p=%d", p),
+						stats.Run{Config: "active", Metrics: act.Metrics})
+					state := "balanced"
+					if !act.Balanced {
+						state = "UNBALANCED"
+					}
+					return fmt.Sprintf("p=%-4d keyagg budget=%d: active=%v passive=%v hits=%d spills=%d (%s) host-bytes %d vs %d correct=%v\n",
+						p, b, act.Latency, pas.Latency, act.Hits, act.Spills, state,
+						act.HostBytes, pas.HostBytes, act.Correct && pas.Correct)
+				}
+				pas := collsweep.RunPoint(op, p, false, prm, parts)
+				act := collsweep.RunPoint(op, p, true, prm, parts)
+				record(fmt.Sprintf("collective/%s/passive/p=%d", op, p),
+					stats.Run{Config: "passive", Metrics: pas.Metrics})
+				record(fmt.Sprintf("collective/%s/active/p=%d", op, p),
+					stats.Run{Config: "active", Metrics: act.Metrics})
+				return fmt.Sprintf("p=%-4d %s: active=%v passive=%v speedup %.2f host-bytes %d vs %d (%.2fx less) correct=%v\n",
+					p, op, act.Latency, pas.Latency,
+					float64(pas.Latency)/float64(act.Latency),
+					act.HostBytes, pas.HostBytes,
+					float64(pas.HostBytes)/float64(act.HostBytes),
+					act.Correct && pas.Correct)
 			})
 
 		case "sort":

@@ -1,0 +1,124 @@
+package collsweep
+
+import (
+	"encoding/json"
+	"testing"
+
+	"activesan/internal/cluster"
+	"activesan/internal/collective"
+	"activesan/internal/metrics"
+	"activesan/internal/telemetry"
+)
+
+func smallParams() Params {
+	prm := DefaultParams()
+	prm.HostCounts = []int{4, 16}
+	prm.Budgets = []int{2, 8, 64}
+	return prm
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Worker fan-out must not change a byte of the result.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	prm := smallParams()
+	a := marshal(t, RunAllParallel(prm, 1))
+	b := marshal(t, RunAllParallel(prm, 4))
+	if a != b {
+		t.Fatalf("1-worker and 4-worker sweeps differ:\n%s\n%s", a, b)
+	}
+}
+
+// Partitioned engines must not change a byte of the result either.
+func TestSweepByteIdenticalAcrossPartitions(t *testing.T) {
+	prm := smallParams()
+	prm.Partitions = 1
+	a := marshal(t, RunAll(prm))
+	for _, parts := range []int{2, 4} {
+		prm.Partitions = parts
+		if b := marshal(t, RunAll(prm)); a != b {
+			t.Fatalf("serial and %d-partition sweeps differ:\n%s\n%s", parts, a, b)
+		}
+	}
+}
+
+// The headline acceptance point: at 64 hosts the active allreduce must beat
+// the recursive-doubling baseline on latency and cut host I/O by >= 2x.
+func TestAllreduce64HostAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-host point is not -short")
+	}
+	prm := collective.DefaultParams()
+	pas := RunPoint(collective.Allreduce, 64, false, prm, 1)
+	act := RunPoint(collective.Allreduce, 64, true, prm, 1)
+	if !pas.Correct || !act.Correct {
+		t.Fatalf("incorrect result: passive ok=%v active ok=%v", pas.Correct, act.Correct)
+	}
+	if act.Latency >= pas.Latency {
+		t.Errorf("no speedup at 64 hosts: active %v vs passive %v", act.Latency, pas.Latency)
+	}
+	if ratio := float64(pas.HostBytes) / float64(act.HostBytes); ratio < 2 {
+		t.Errorf("host I/O reduction %.2fx at 64 hosts, want >= 2x (active %d B, passive %d B)",
+			ratio, act.HostBytes, pas.HostBytes)
+	}
+}
+
+// Every budget point's ledger must balance, the spill count must fall as
+// the table grows, and the cliff edges must behave: heavy spilling at
+// budget 1, none once the whole key space is resident.
+func TestBudgetSweepLedger(t *testing.T) {
+	prm := collective.DefaultParams()
+	var prev int64 = -1
+	for _, b := range []int{1, 4, 16, 64, 128} {
+		pt := RunBudgetPoint(16, b, true, prm, 1)
+		if !pt.Correct {
+			t.Errorf("budget=%d: incorrect result", b)
+		}
+		if !pt.Balanced {
+			t.Errorf("budget=%d: ledger unbalanced: hits=%d spills=%d ingested=%d",
+				b, pt.Hits, pt.Spills, pt.Ingested)
+		}
+		if prev >= 0 && pt.Spills > prev {
+			t.Errorf("budget=%d: spills rose to %d from %d at the smaller budget", b, pt.Spills, prev)
+		}
+		prev = pt.Spills
+		if b == 1 && pt.Spills == 0 {
+			t.Error("budget=1: no spills with 64 keys in flight")
+		}
+		if b >= prm.Keys && pt.Spills != 0 {
+			t.Errorf("budget=%d: %d spills with the whole key space resident", b, pt.Spills)
+		}
+		if pt.Metrics.Get("collective/agg_hits") != float64(pt.Hits) {
+			t.Errorf("budget=%d: snapshot hits %v != %d", b, pt.Metrics.Get("collective/agg_hits"), pt.Hits)
+		}
+	}
+}
+
+// Collectives must carry telemetry stamps: with a recorder attached, the
+// per-hop histograms decompose the active allreduce's latency.
+func TestTelemetryDecomposesCollective(t *testing.T) {
+	c := cluster.NewPartitionedFatTreeCluster(cluster.DefaultFatTreeConfig(16), 1)
+	rec := telemetry.NewRecorder()
+	rec.Attach(c)
+	r := collective.RunOn(c, collective.Allreduce, true, 16, collective.DefaultParams())
+	if !r.Correct {
+		t.Fatal("allreduce incorrect under telemetry")
+	}
+	snap := metrics.NewSnapshot()
+	rec.Into(snap)
+	if snap.Get("telemetry/completed") == 0 {
+		t.Fatal("no stamped packets completed")
+	}
+	for _, k := range []string{"telemetry/e2e/p99", "telemetry/hop/wire/count", "telemetry/hop/queue/count"} {
+		if _, ok := snap.Values[k]; !ok {
+			t.Errorf("missing %s in the telemetry fold", k)
+		}
+	}
+}

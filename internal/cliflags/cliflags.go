@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"activesan/internal/cluster"
+	"activesan/internal/collective"
 	"activesan/internal/fault"
 	"activesan/internal/hdl"
 	"activesan/internal/metrics"
@@ -36,6 +37,8 @@ type Common struct {
 	FaultSeed  uint64
 	Topology   string
 	Partitions int
+	Collective string
+	AggBudget  int
 	HandlerSrc string
 	Telemetry  bool
 	FlightRec  string
@@ -64,6 +67,10 @@ func Register() *Common {
 		"collective topology: tree (the paper's reduction tree), fattree, or fattree:K (see TOPOLOGIES.md)")
 	flag.IntVar(&c.Partitions, "partitions", 1,
 		"simulation partitions per cluster: 1 = serial engine, 0 = auto from topology size, N = exactly N; results are byte-identical at any value (see PERFORMANCE.md)")
+	flag.StringVar(&c.Collective, "collective", "allreduce",
+		"collective op for the collsweep experiment and -sweep collective: allreduce, barrier, scatter, gather, or keyagg (see COLLECTIVES.md)")
+	flag.IntVar(&c.AggBudget, "agg-budget", 0,
+		"per-switch key-table budget (entries) for keyagg collectives; 0 = the library default, smaller budgets spill to the host (see COLLECTIVES.md)")
 	flag.StringVar(&c.HandlerSrc, "handler-src", "",
 		"compile this HDL handler source file and add it to the hdlsweep experiment (see HANDLERS.md)")
 	flag.BoolVar(&c.Telemetry, "telemetry", false,
@@ -113,6 +120,17 @@ func (c *Common) Setup() (cleanup func(), err error) {
 		return noop, fmt.Errorf("-partitions: count %d must be >= 0 (0 = auto)", c.Partitions)
 	}
 	cluster.SetDefaultPartitions(c.Partitions)
+	op, err := collective.ParseOp(c.Collective)
+	if err != nil {
+		return noop, fmt.Errorf("-collective: %w", err)
+	}
+	collective.SetDefaultOp(op)
+	if c.AggBudget < 0 {
+		return noop, fmt.Errorf("-agg-budget: %d must be >= 0 (0 = default)", c.AggBudget)
+	}
+	if c.AggBudget > 0 {
+		collective.SetDefaultBudget(c.AggBudget)
+	}
 	if c.Faults != "" {
 		plan, err := fault.Load(c.Faults)
 		if err != nil {

@@ -169,6 +169,127 @@ func TestRouteFuzzDeterminism(t *testing.T) {
 	}
 }
 
+// walkTo follows primary routes from switch index `start` until the packet
+// would be delivered to dst, failing on a missing route or a loop. It is
+// the deliverability half of the multicast fuzz: every down-tree edge the
+// collective library multicasts over must be realizable hop-by-hop.
+func walkTo(t *testing.T, c *Cluster, round, start int, dst san.NodeID) {
+	t.Helper()
+	home := homeSwitch(c, dst)
+	ttl := len(c.Switches) + 2
+	at, hops := start, 0
+	for at != home {
+		sw := c.Topo.Sw[at]
+		if sw.ID() == dst {
+			return
+		}
+		port := sw.Route(dst)
+		if port < 0 {
+			t.Fatalf("round %d: %s has no route to %d", round, sw.Name(), dst)
+		}
+		next, ok := c.Topo.PortPeer[at][port]
+		if !ok {
+			t.Fatalf("round %d: %s routes %d out endpoint port %d", round, sw.Name(), dst, port)
+		}
+		at = next
+		if hops++; hops > ttl {
+			t.Fatalf("round %d: routing loop toward %d starting at %s", round, dst, c.Topo.Sw[start].Name())
+		}
+	}
+}
+
+// TestRouteFuzzMulticastDownTree fuzzes the path the collective library's
+// down-tree multicast rides (see internal/collective): on random reduction
+// trees and fat trees, walking the Tree overlay from the root — child
+// switches by inverting Parent, member hosts from HostLeaf — must reach
+// every switch and every participant host exactly once, loop-free within a
+// TTL bound, and every down edge must be deliverable by the installed
+// route tables.
+func TestRouteFuzzMulticastDownTree(t *testing.T) {
+	r := &fuzzRand{s: 0x5eed0004}
+	fatHosts := []int{4, 8, 16, 32, 64}
+	for round := 0; round < fuzzRounds(t); round++ {
+		var c *Cluster
+		if round%2 == 0 {
+			cfg := DefaultTreeConfig(2 + r.intn(23))
+			cfg.HostsPerLeaf = 2 + r.intn(7)
+			cfg.Arity = 2 + r.intn(7)
+			c = NewTreeCluster(sim.NewEngine(), cfg)
+		} else {
+			c = NewPartitionedFatTreeCluster(DefaultFatTreeConfig(fatHosts[r.intn(len(fatHosts))]), 1)
+		}
+		tree := c.Tree
+		if tree == nil {
+			t.Fatalf("round %d: cluster has no tree overlay", round)
+		}
+
+		// Invert the overlay: per-switch child switches and member hosts —
+		// exactly the fan-out deliverDown multicasts over.
+		childSw := map[san.NodeID][]san.NodeID{}
+		for sw, p := range tree.Parent {
+			if p != san.NoNode {
+				childSw[p] = append(childSw[p], sw)
+			}
+		}
+		hostsAt := map[san.NodeID][]san.NodeID{}
+		for h, leaf := range tree.HostLeaf {
+			hostsAt[leaf] = append(hostsAt[leaf], h)
+		}
+
+		// TTL walk down from the root.
+		swIdx := map[san.NodeID]int{}
+		for i, sw := range c.Topo.Sw {
+			swIdx[sw.ID()] = i
+		}
+		seenSw := map[san.NodeID]int{}
+		seenHost := map[san.NodeID]int{}
+		type visit struct {
+			sw    san.NodeID
+			depth int
+		}
+		queue := []visit{{tree.Root, 0}}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if v.depth > len(c.Switches) {
+				t.Fatalf("round %d: down-tree walk exceeded TTL %d at %d", round, len(c.Switches), v.sw)
+			}
+			seenSw[v.sw]++
+			at, ok := swIdx[v.sw]
+			if !ok {
+				t.Fatalf("round %d: tree overlay names unknown switch %d", round, v.sw)
+			}
+			for _, h := range hostsAt[v.sw] {
+				seenHost[h]++
+				walkTo(t, c, round, at, h)
+			}
+			for _, cs := range childSw[v.sw] {
+				walkTo(t, c, round, at, cs)
+				queue = append(queue, visit{cs, v.depth + 1})
+			}
+		}
+
+		// Exactly-once coverage: every participant host, every on-tree
+		// switch. Switches with an explicit NoNode parent (fat-tree edges,
+		// aggs and cores outside the aggregation overlay) are legitimately
+		// unreachable from the root — unless they hold members.
+		for _, h := range c.Hosts {
+			if n := seenHost[h.ID()]; n != 1 {
+				t.Fatalf("round %d: host %d reached %d times, want exactly once", round, h.ID(), n)
+			}
+		}
+		for sw, p := range tree.Parent {
+			onTree := p != san.NoNode || sw == tree.Root
+			if n := seenSw[sw]; onTree && n != 1 {
+				t.Fatalf("round %d: switch %d visited %d times, want exactly once", round, sw, n)
+			} else if !onTree && n != 0 {
+				t.Fatalf("round %d: off-tree switch %d visited %d times", round, sw, n)
+			}
+		}
+		c.Shutdown()
+	}
+}
+
 // TestRouteFuzzBackupEqualCost checks the metamorphic property behind the
 // ECMP tie-break: a backup route, when present, leads to a next hop at the
 // same BFS distance from the destination as the primary's next hop, and

@@ -1,0 +1,16 @@
+package collective
+
+import "testing"
+
+// BenchmarkAllreduce builds and runs a full 16-host fat-tree active
+// allreduce per iteration — the macro gate for the collective path's
+// allocation behavior (BENCH_engine.json, -allocs-only in CI).
+func BenchmarkAllreduce(b *testing.B) {
+	prm := DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := fatRun(Allreduce, true, 16, 1, prm); !r.Correct {
+			b.Fatal("allreduce produced an incorrect result")
+		}
+	}
+}

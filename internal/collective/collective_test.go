@@ -1,0 +1,224 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"activesan/internal/apps"
+	"activesan/internal/cluster"
+	"activesan/internal/sim"
+)
+
+var allOps = []Op{Allreduce, Barrier, Scatter, Gather, KeyAgg}
+
+func treeRun(op Op, active bool, p int, prm Params) Result {
+	return RunOn(cluster.NewTreeCluster(sim.NewEngine(), cluster.DefaultTreeConfig(p)), op, active, p, prm)
+}
+
+func fatRun(op Op, active bool, hosts, parts int, prm Params) Result {
+	return RunOn(cluster.NewPartitionedFatTreeCluster(cluster.DefaultFatTreeConfig(hosts), parts), op, active, hosts, prm)
+}
+
+func requireRows(t *testing.T, label string, got, want [][]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for j := range want {
+		if !int64SlicesEqual(got[j], want[j]) {
+			t.Fatalf("%s: rank %d holds %v, want %v", label, j, got[j], want[j])
+		}
+	}
+}
+
+// Every op, active and passive, on the paper's switch tree, including host
+// counts that leave the tree ragged and the single-switch degenerate case.
+func TestOpsMatchOracleOnTree(t *testing.T) {
+	counts := []int{1, 2, 3, 5, 8, 16, 20}
+	if testing.Short() {
+		counts = []int{1, 3, 8}
+	}
+	prm := DefaultParams()
+	for _, p := range counts {
+		for _, op := range allOps {
+			want := ExpectedPerHost(op, p, opParams(op, prm))
+			act := treeRun(op, true, p, prm)
+			pas := treeRun(op, false, p, prm)
+			if !act.Correct {
+				t.Errorf("tree p=%d %s active incorrect", p, op)
+			}
+			if !pas.Correct {
+				t.Errorf("tree p=%d %s passive incorrect", p, op)
+			}
+			requireRows(t, fmt.Sprintf("tree p=%d %s active", p, op), act.PerHost, want)
+			requireRows(t, fmt.Sprintf("tree p=%d %s passive", p, op), pas.PerHost, want)
+		}
+	}
+}
+
+// Every op on k-ary fat trees: the overlay is the edge/agg/core aggregation
+// tree, exercised with multi-pod shapes.
+func TestOpsMatchOracleOnFatTree(t *testing.T) {
+	counts := []int{4, 16}
+	if testing.Short() {
+		counts = []int{16}
+	}
+	prm := DefaultParams()
+	for _, p := range counts {
+		for _, op := range allOps {
+			want := ExpectedPerHost(op, p, opParams(op, prm))
+			act := fatRun(op, true, p, 1, prm)
+			pas := fatRun(op, false, p, 1, prm)
+			if !act.Correct || !pas.Correct {
+				t.Errorf("fattree p=%d %s: active ok=%v passive ok=%v", p, op, act.Correct, pas.Correct)
+			}
+			requireRows(t, fmt.Sprintf("fattree p=%d %s active", p, op), act.PerHost, want)
+			requireRows(t, fmt.Sprintf("fattree p=%d %s passive", p, op), pas.PerHost, want)
+		}
+	}
+}
+
+// The partition-parallel engine must not change a single byte or timestamp:
+// every op, serial vs 2 vs 4 partitions on a 16-host fat tree.
+func TestPartitionedByteIdentity(t *testing.T) {
+	prm := DefaultParams()
+	for _, op := range allOps {
+		for _, active := range []bool{true, false} {
+			base := fatRun(op, active, 16, 1, prm)
+			for _, parts := range []int{2, 4} {
+				got := fatRun(op, active, 16, parts, prm)
+				label := fmt.Sprintf("%s active=%v parts=%d", op, active, parts)
+				requireRows(t, label, got.PerHost, base.PerHost)
+				if got.Latency != base.Latency {
+					t.Errorf("%s: latency %v, serial %v", label, got.Latency, base.Latency)
+				}
+				if got.AggHits != base.AggHits || got.AggSpills != base.AggSpills {
+					t.Errorf("%s: agg ledger (%d,%d), serial (%d,%d)",
+						label, got.AggHits, got.AggSpills, base.AggHits, base.AggSpills)
+				}
+			}
+		}
+	}
+}
+
+// The key-aggregation ledger must balance at every budget, spill when the
+// table cannot hold the key space, and stay spill-free when it can.
+func TestKeyAggLedgerBalance(t *testing.T) {
+	prm := DefaultParams()
+	for _, budget := range []int{1, 2, 4, 8, 32, 64, 1 << 20} {
+		prm.AggBudget = budget
+		for _, r := range []Result{treeRun(KeyAgg, true, 8, prm), fatRun(KeyAgg, true, 16, 1, prm)} {
+			if !r.Correct {
+				t.Errorf("budget=%d: incorrect result", budget)
+			}
+			if !r.AggBalanced() {
+				t.Errorf("budget=%d: ledger unbalanced: hits=%d spills=%d ingested=%d",
+					budget, r.AggHits, r.AggSpills, r.AggIngested)
+			}
+			if len(r.PerSwitch) == 0 || r.AggIngested == 0 {
+				t.Errorf("budget=%d: no per-switch ledgers harvested", budget)
+			}
+			if budget < prm.Keys/2 && r.AggSpills == 0 {
+				t.Errorf("budget=%d: expected spills with %d keys", budget, prm.Keys)
+			}
+			if budget >= prm.Keys && r.AggSpills != 0 {
+				t.Errorf("budget=%d: %d spills with the whole key space resident", budget, r.AggSpills)
+			}
+		}
+	}
+}
+
+// Passive runs must leave switch handler state untouched.
+func TestPassiveTouchesNoSwitchState(t *testing.T) {
+	c := cluster.NewTreeCluster(sim.NewEngine(), cluster.DefaultTreeConfig(8))
+	RunOn(c, Allreduce, false, 8, DefaultParams())
+	for _, sw := range c.Switches {
+		for _, id := range []int{upHandlerID, mcastHandlerID, scatterHandlerID, gatherHandlerID, kaHandlerID} {
+			if sw.HandlerState(id) != nil {
+				t.Fatalf("passive run installed state for handler %d on %s", id, sw.Name())
+			}
+		}
+	}
+}
+
+// propRand is a deterministic splitmix64 stream for the property tests.
+type propRand struct{ s uint64 }
+
+func (r *propRand) next(n int) int {
+	r.s += 0x9E3779B97F4A7C15
+	return int(apps.Mix64(r.s) % uint64(n))
+}
+
+// Satellite property test, random-shape arm: for seeded random tree shapes
+// and vector sizes, active allreduce/gather are byte-identical to the
+// in-process host-only reference fold (and to the passive run).
+func TestPropertyRandomTreeShapes(t *testing.T) {
+	rounds := 12
+	if testing.Short() {
+		rounds = 4
+	}
+	rng := &propRand{s: 0xC0115EED}
+	for i := 0; i < rounds; i++ {
+		cfg := cluster.DefaultTreeConfig(2 + rng.next(23))
+		cfg.HostsPerLeaf = 2 + rng.next(7)
+		cfg.Arity = 2 + rng.next(7)
+		prm := DefaultParams()
+		prm.Elems = 4 + rng.next(61)
+		prm.VectorBytes = int64(prm.Elems) * 8
+		for _, op := range []Op{Allreduce, Gather} {
+			want := ExpectedPerHost(op, cfg.Hosts, prm)
+			act := RunOn(cluster.NewTreeCluster(sim.NewEngine(), cfg), op, true, cfg.Hosts, prm)
+			pas := RunOn(cluster.NewTreeCluster(sim.NewEngine(), cfg), op, false, cfg.Hosts, prm)
+			label := fmt.Sprintf("round %d: p=%d leaf=%d arity=%d elems=%d %s",
+				i, cfg.Hosts, cfg.HostsPerLeaf, cfg.Arity, prm.Elems, op)
+			requireRows(t, label+" active", act.PerHost, want)
+			requireRows(t, label+" passive", pas.PerHost, want)
+		}
+	}
+}
+
+// Satellite property test, partition arm: random vector sizes on fat trees
+// at 1/2/4 partitions — active allreduce/gather match the reference fold and
+// are byte-identical across partition counts.
+func TestPropertyPartitionedMatchesReference(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	rng := &propRand{s: 0xFA77EE}
+	for i := 0; i < rounds; i++ {
+		hosts := []int{8, 16}[rng.next(2)]
+		prm := DefaultParams()
+		prm.Elems = 4 + rng.next(61)
+		prm.VectorBytes = int64(prm.Elems) * 8
+		for _, op := range []Op{Allreduce, Gather} {
+			want := ExpectedPerHost(op, hosts, prm)
+			var base Result
+			for pi, parts := range []int{1, 2, 4} {
+				got := fatRun(op, true, hosts, parts, prm)
+				label := fmt.Sprintf("round %d: hosts=%d elems=%d %s parts=%d", i, hosts, prm.Elems, op, parts)
+				requireRows(t, label, got.PerHost, want)
+				if pi == 0 {
+					base = got
+				} else if got.Latency != base.Latency {
+					t.Errorf("%s: latency %v, serial %v", label, got.Latency, base.Latency)
+				}
+			}
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, op := range allOps {
+		got, err := ParseOp(op.String())
+		if err != nil || got != op {
+			t.Fatalf("ParseOp(%q) = %v, %v", op.String(), got, err)
+		}
+	}
+	if got, err := ParseOp(""); err != nil || got != Allreduce {
+		t.Fatalf("ParseOp(\"\") = %v, %v", got, err)
+	}
+	if _, err := ParseOp("bogus"); err == nil {
+		t.Fatal("ParseOp accepted bogus op")
+	}
+}

@@ -1,0 +1,120 @@
+package collective
+
+// Fault integration (the PR 4 ledger identity on collective runs): a
+// link-flap + drop plan armed on an allreduce must leave the injector
+// balanced — injected == recovered + tolerated with nothing pending — and
+// the passive run must still produce the correct result through
+// retransmission. For active runs the reliability layer exempts in-fabric
+// handler traffic from probabilistic loss (a switch's handler plane has no
+// retransmit protocol; see fault.Injector.protocol), so the drop plan is
+// verified to withhold — and a delay plan, which needs no recovery, is the
+// lossy-path probe that does fire everywhere.
+
+import (
+	"testing"
+
+	"activesan/internal/cluster"
+	"activesan/internal/fault"
+)
+
+func armedFatTree(hosts int, plan *fault.Plan) (*cluster.Cluster, *fault.Injector) {
+	c := cluster.NewPartitionedFatTreeCluster(cluster.DefaultFatTreeConfig(hosts), 1)
+	return c, fault.Arm(c, plan, 0)
+}
+
+func TestFaultInvariantPassiveAllreduceFlapDrop(t *testing.T) {
+	c, in := armedFatTree(16, &fault.Plan{
+		Seed:  9,
+		Links: []fault.LinkRule{{Drop: 0.02, Corrupt: 0.01}},
+		Events: []fault.Event{
+			{AtNS: 3000, Kind: fault.LinkDown, Link: "h1.up"},
+			{AtNS: 9000, Kind: fault.LinkUp, Link: "h1.up"},
+		},
+		Reliability: &fault.Reliability{MaxRetries: 128},
+	})
+	res := RunOn(c, Allreduce, false, 16, DefaultParams())
+	cnt := in.Counts()
+	if !res.Correct {
+		t.Fatalf("passive allreduce incorrect under flap+drop (counts %+v)", cnt)
+	}
+	if cnt.Injected == 0 || cnt.Dropped == 0 {
+		t.Fatalf("plan did not bite: %+v", cnt)
+	}
+	if cnt.LinkEvents != 2 {
+		t.Fatalf("flap events applied %d times, want 2", cnt.LinkEvents)
+	}
+	if pend := in.Pending(); pend != 0 {
+		t.Fatalf("%d losses still pending after quiesce", pend)
+	}
+	if !in.Balanced() {
+		t.Fatalf("ledger unbalanced: Injected=%d Recovered=%d Tolerated=%d",
+			cnt.Injected, cnt.Recovered, cnt.Tolerated)
+	}
+}
+
+func TestFaultInvariantActiveAllreduceDelayPlan(t *testing.T) {
+	// Delays fire on every link — including the in-fabric handler hops loss
+	// exemption protects — and are tolerated in place, so the active path
+	// both completes correctly and shows a nonzero balanced ledger.
+	c, in := armedFatTree(16, &fault.Plan{
+		Seed:  11,
+		Links: []fault.LinkRule{{DelayNS: 150, JitterNS: 250}},
+	})
+	res := RunOn(c, Allreduce, true, 16, DefaultParams())
+	cnt := in.Counts()
+	if !res.Correct {
+		t.Fatalf("active allreduce incorrect under delay plan (counts %+v)", cnt)
+	}
+	if cnt.Injected == 0 || cnt.Delayed == 0 {
+		t.Fatalf("delay plan did not bite: %+v", cnt)
+	}
+	if !in.Balanced() {
+		t.Fatalf("ledger unbalanced: %+v pending %d", cnt, in.Pending())
+	}
+}
+
+func TestFaultInvariantActiveAllreduceDropExempt(t *testing.T) {
+	// With reliability armed, probabilistic loss is withheld from packets
+	// with a switch endpoint: dropping an in-fabric collective message would
+	// hang the stream with no protocol to re-deliver it. The active run must
+	// complete byte-correct, the withheld losses must be visible as Exempt,
+	// and the ledger must balance.
+	c, in := armedFatTree(16, &fault.Plan{
+		Seed:        13,
+		Links:       []fault.LinkRule{{Drop: 0.05}},
+		Reliability: &fault.Reliability{MaxRetries: 64},
+	})
+	res := RunOn(c, Allreduce, true, 16, DefaultParams())
+	cnt := in.Counts()
+	if !res.Correct {
+		t.Fatalf("active allreduce incorrect under exempted drop plan (counts %+v)", cnt)
+	}
+	if cnt.Exempt == 0 {
+		t.Fatalf("no losses exempted — the fabric-path guard did not engage: %+v", cnt)
+	}
+	if !in.Balanced() {
+		t.Fatalf("ledger unbalanced: %+v pending %d", cnt, in.Pending())
+	}
+}
+
+func TestFaultInvariantLedgerDeterministic(t *testing.T) {
+	run := func() fault.Counts {
+		c, in := armedFatTree(8, &fault.Plan{
+			Seed:        21,
+			Links:       []fault.LinkRule{{Drop: 0.03}},
+			Reliability: &fault.Reliability{MaxRetries: 128},
+		})
+		res := RunOn(c, Allreduce, false, 8, DefaultParams())
+		if !res.Correct {
+			t.Fatal("passive allreduce incorrect under drop plan")
+		}
+		if !in.Balanced() {
+			t.Fatalf("ledger unbalanced: %+v pending %d", in.Counts(), in.Pending())
+		}
+		return in.Counts()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("ledger differs across identical runs:\n  %+v\n  %+v", a, b)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"activesan/internal/apps/collsweep"
 	"activesan/internal/apps/faultsweep"
 	"activesan/internal/apps/grep"
 	"activesan/internal/apps/hashjoin"
@@ -229,6 +230,21 @@ var Registry = []Experiment{
 				prm.FileSize = 128 * 1024
 			}
 			return faultsweep.RunAll(prm)
+		},
+	},
+	{
+		ID:    "collsweep",
+		Paper: "Extension (in-network collectives)",
+		Title: "In-network collectives: allreduce scaling and the aggregation spill cliff",
+		Run: func(scale int64) *stats.Result {
+			prm := collsweep.DefaultParams()
+			if clampScale(scale) > 1 {
+				// Keep the 64-host point: it is the acceptance anchor for
+				// the active-vs-passive byte reduction.
+				prm.HostCounts = []int{4, 16, 64}
+				prm.Budgets = []int{2, 8, 32, 64}
+			}
+			return collsweep.RunAll(prm)
 		},
 	},
 }
@@ -474,6 +490,46 @@ func Shapes(res *stats.Result) []string {
 			if s.Name == "goodput_mbps" && len(s.Y) > 1 && s.Y[0] > 0 {
 				add("goodput at %.1f%% loss is %.1f%% of fault-free (extension: not in the paper)",
 					s.X[len(s.X)-1], 100*s.Y[len(s.Y)-1]/s.Y[0])
+			}
+		}
+	case "collsweep":
+		var passB, actB, sp, spills *stats.Series
+		for i := range res.Series {
+			switch res.Series[i].Name {
+			case "passive host bytes":
+				passB = &res.Series[i]
+			case "active host bytes":
+				actB = &res.Series[i]
+			case "speedup":
+				sp = &res.Series[i]
+			case "agg spills vs budget":
+				spills = &res.Series[i]
+			}
+		}
+		if passB != nil && actB != nil && len(passB.Y) > 0 {
+			last := len(passB.Y) - 1
+			add("allreduce host I/O at %d hosts: active is %.1f%% of passive (extension: not in the paper)",
+				int(passB.X[last]), 100*actB.Y[last]/passB.Y[last])
+		}
+		if sp != nil {
+			add("max allreduce speedup %.2fx over recursive doubling", sp.MaxY())
+		}
+		if spills != nil && len(spills.Y) > 0 {
+			// The spill cliff: the smallest budget at which the bounded
+			// key table stops spilling to the host.
+			cliff := -1
+			for i := range spills.Y {
+				if spills.Y[i] == 0 {
+					cliff = int(spills.X[i])
+					break
+				}
+			}
+			if cliff >= 0 {
+				add("keyagg spill cliff: spills reach 0 at budget %d (from %.0f at budget %d)",
+					cliff, spills.Y[0], int(spills.X[0]))
+			} else {
+				add("keyagg still spilling at budget %d (%.0f spills)",
+					int(spills.X[len(spills.X)-1]), spills.Y[len(spills.Y)-1])
 			}
 		}
 	case "fig17":

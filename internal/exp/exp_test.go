@@ -8,10 +8,11 @@ import (
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	// The evaluation section has two tables and the figure pairs 3/4, 5/6,
 	// 7/8, 9/10, 11/12, 13/14 plus 15, 16 and 17; twolevel, scalesweep,
-	// latsweep, hdlsweep and faultsweep are this repo's extensions.
+	// latsweep, hdlsweep, faultsweep and collsweep are this repo's
+	// extensions.
 	want := []string{"table1", "fig3", "fig5", "fig7", "fig9", "fig11", "fig13",
 		"table2", "fig15", "fig16", "fig17", "twolevel", "scalesweep",
-		"latsweep", "hdlsweep", "faultsweep"}
+		"latsweep", "hdlsweep", "faultsweep", "collsweep"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d: %v", len(got), len(want), got)
