@@ -101,6 +101,33 @@ func TestPartitionedByteIdentity(t *testing.T) {
 	}
 }
 
+// The passive keyagg shuffle is a perfectly synchronized all-to-all burst:
+// every rank starts at the identical instant (the per-rank injection stagger
+// that used to dodge same-instant ties is gone), so same-instant arrivals
+// collide at shared switches on purpose. The settle-phase crossbar must keep
+// the run byte-identical at 1, 2, 4, and 8 partitions.
+func TestKeyAggSynchronizedShuffleIdentity(t *testing.T) {
+	prm := DefaultParams()
+	want := ExpectedPerHost(KeyAgg, 16, opParams(KeyAgg, prm))
+	base := fatRun(KeyAgg, false, 16, 1, prm)
+	requireRows(t, "keyagg shuffle serial", base.PerHost, want)
+	if !base.Correct {
+		t.Fatal("serial shuffle incorrect")
+	}
+	for _, parts := range []int{2, 4, 8} {
+		got := fatRun(KeyAgg, false, 16, parts, prm)
+		label := fmt.Sprintf("keyagg shuffle parts=%d", parts)
+		requireRows(t, label, got.PerHost, base.PerHost)
+		if got.Latency != base.Latency {
+			t.Errorf("%s: latency %v, serial %v", label, got.Latency, base.Latency)
+		}
+		if got.AggHits != base.AggHits || got.AggSpills != base.AggSpills {
+			t.Errorf("%s: agg ledger (%d,%d), serial (%d,%d)",
+				label, got.AggHits, got.AggSpills, base.AggHits, base.AggSpills)
+		}
+	}
+}
+
 // The key-aggregation ledger must balance at every budget, spill when the
 // table cannot hold the key space, and stay spill-free when it can.
 func TestKeyAggLedgerBalance(t *testing.T) {

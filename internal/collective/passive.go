@@ -199,13 +199,10 @@ func runShuffleKeyAgg(proc *sim.Proc, sh *shape, h *host.Host,
 	p := sh.p
 	recs := RecordsFor(rank, prm)
 	region := h.Space().Alloc(kaSize(len(recs)), 64)
-	// Deterministic per-rank injection stagger. A perfectly synchronized
-	// all-to-all burst is the one pattern where same-instant arrivals at a
-	// switch are tie-broken by event-insertion order, which the partitioned
-	// engine cannot reproduce (see the boundary note in PERFORMANCE.md);
-	// skewing each rank's start keeps arrival instants distinct so the run
-	// is byte-identical at any partition count.
-	h.CPU().BusyFor(proc, sim.Time(rank)*64*sim.Nanosecond)
+	// All ranks start their shuffle at the same instant: the settle-phase
+	// crossbar arbitrates same-instant arrivals by input port, so even a
+	// perfectly synchronized all-to-all burst is byte-identical at any
+	// partition count (see PERFORMANCE.md, "Determinism contract").
 	h.CPU().TouchRange(proc, region, kaSize(len(recs)), cache.Load)
 	h.CPU().Compute(proc, prm.HostAddInstr*int64(len(recs)))
 

@@ -96,6 +96,14 @@ type Switch struct {
 	local  LocalSink
 	stats  SwitchStats
 
+	// arb is the settle-phase crossbar arbiter: every same-instant arrival
+	// joins it after the routing step and is granted in input-port-index
+	// order at the end of the instant, so contention for the central pool,
+	// the output queues, and the local sink resolves identically whatever
+	// order the arrival events were inserted in — the property partitioned
+	// byte-identity rests on (see DESIGN.md, "Settle-phase arbitration").
+	arb *sim.Arbiter
+
 	started bool
 }
 
@@ -115,6 +123,7 @@ func NewSwitch(eng *sim.Engine, id NodeID, name string, cfg SwitchConfig) *Switc
 		backup: make(map[NodeID]int),
 		pool:   sim.NewSemaphore(cfg.PoolPackets),
 		outQ:   make([]*sim.Queue[*Packet], cfg.Ports),
+		arb:    sim.NewArbiter(eng),
 	}
 	for i := range s.outQ {
 		s.outQ[i] = sim.NewQueue[*Packet]()
@@ -294,11 +303,18 @@ func (s *Switch) inputLoop(p *sim.Proc, i int) {
 		}
 		if pkt.Corrupt {
 			// Link-level CRC check: damaged packets stop here and rely on
-			// end-to-end retransmission.
+			// end-to-end retransmission. Drops never contend, so they skip
+			// arbitration.
 			s.stats.CorruptDrops++
 			in.ReturnCredit()
 			continue
 		}
+		// Settle-phase crossbar arbitration: every packet that finished its
+		// routing step at this instant — on any input port, in any event
+		// order — is admitted in input-port-index order at the end of the
+		// instant. Routing itself happens after the grant, so a same-instant
+		// topology change is observed identically by the whole burst.
+		s.arb.Join(p, i)
 		if pkt.Hdr.Dst == s.id {
 			s.stats.Local++
 			if s.local == nil {
@@ -359,8 +375,11 @@ func (s *Switch) outputLoop(p *sim.Proc, i int) {
 
 // Inject lets the switch itself source a packet toward dst (the active
 // switch's send unit uses this: the crossbar is logically (N+1)xN). It
-// blocks for a central-queue slot, then enqueues on the proper output.
+// arbitrates as the crossbar's extra input — pseudo-port N, behind every
+// external port of the same instant — then blocks for a central-queue slot
+// and enqueues on the proper output.
 func (s *Switch) Inject(p *sim.Proc, pkt *Packet) error {
+	s.arb.Join(p, s.cfg.Ports)
 	out, rerouted := s.pickRoute(pkt.Hdr.Dst)
 	if out < 0 {
 		return fmt.Errorf("san: %s cannot route injected packet to node %d", s.name, pkt.Hdr.Dst)

@@ -83,6 +83,15 @@ type Engine struct {
 	seq   int64
 	fired int64
 
+	// settleq holds end-of-instant hooks (Settle). A hook is promoted to an
+	// ordinary event at e.now the moment the current instant quiesces — no
+	// pending event remains at the current time — so hooks always run after
+	// every event of their instant, in registration order, and always before
+	// the clock advances or a run phase returns. Entries before settleHead
+	// have been promoted; the backing array is recycled once drained.
+	settleq    []func()
+	settleHead int
+
 	// procs counts live (spawned, not yet finished) processes, for leak
 	// detection in tests.
 	procs int
@@ -243,6 +252,32 @@ func (e *Engine) schedule(at Time, fn func(), proc *Proc) timer {
 	return timer{idx: idx, seq: e.seq}
 }
 
+// Settle registers fn to run at the end of the current instant: after every
+// event scheduled at the engine's current time has fired — whatever order
+// those events were inserted in — and before the clock advances past it or
+// the current run phase returns. Hooks run in registration order, and a
+// hook's own same-instant effects (events it schedules at the current time,
+// processes it unparks) complete before the next hook runs. The settle
+// arbiter (Arbiter) uses this to make same-instant contention a pure
+// function of simulated state rather than of event-insertion order.
+func (e *Engine) Settle(fn func()) {
+	e.settleq = append(e.settleq, fn)
+}
+
+// promoteSettle turns the oldest registered settle hook into an ordinary
+// event at the current instant. Only popNext calls it, and only once the
+// instant has quiesced, so the promoted event is the next to fire.
+func (e *Engine) promoteSettle() {
+	fn := e.settleq[e.settleHead]
+	e.settleq[e.settleHead] = nil
+	e.settleHead++
+	if e.settleHead == len(e.settleq) {
+		e.settleq = e.settleq[:0]
+		e.settleHead = 0
+	}
+	e.schedule(e.now, fn, nil)
+}
+
 // cancel discards a queued event: heap entries are removed in place (no
 // tombstone lingers to be sifted through later), run-queue entries are
 // blanked and reclaimed when their turn comes. Cancelling an event that has
@@ -368,6 +403,17 @@ func (e *Engine) driveMain() {
 // between them is one comparison.
 func (e *Engine) popNext() (int32, bool) {
 	for {
+		// End-of-instant settle: once no event remains at the current time,
+		// promote pending hooks (oldest first) before letting the clock move
+		// or the phase end. A promoted hook lands in the run queue at e.now,
+		// so it is popped immediately — and any same-instant work it creates
+		// drains before the next hook is promoted.
+		if e.settleHead < len(e.settleq) {
+			if at, ok := e.nextEventTime(); !ok || at > e.now {
+				e.promoteSettle()
+				continue
+			}
+		}
 		var idx int32
 		if e.runqHead < len(e.runq) {
 			idx = e.runq[e.runqHead]

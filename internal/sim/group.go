@@ -33,9 +33,12 @@ import (
 // of the topology and the partition count-independent virtual times. Same-
 // time events on *different* engines touch disjoint component state, so
 // results are byte-identical at any partition count; see the property tests.
-// (Boundary: same-instant arrivals at one switch from inputs fed by
-// different partitions arbitrate in processing order, which injection
-// cannot always reproduce — see PERFORMANCE.md and the roadmap item.)
+// Same-instant arrivals at one switch from inputs fed by different
+// partitions are arbitrated by the switch's settle-phase crossbar
+// (Engine.Settle + Arbiter) in input-port order — a pure function of the
+// topology, independent of delivering engine and injection order — so the
+// identity holds even for fully synchronized bursts (see PERFORMANCE.md,
+// "Determinism contract").
 
 // xmsg is one cross-partition handoff: run fn on the target engine at
 // virtual time at. seq is the channel-local posting order, breaking same-time

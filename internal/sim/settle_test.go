@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Settle's contract: hooks run after every event of the current instant,
+// whatever order those events were inserted in, and before the clock moves.
+func TestSettleRunsAfterAllSameInstantEvents(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	var hookAt Time
+	at := 100 * Nanosecond
+	eng.Schedule(at, func() {
+		order = append(order, "ev1")
+		eng.Settle(func() {
+			hookAt = eng.Now()
+			order = append(order, "settle")
+		})
+	})
+	eng.Schedule(at, func() { order = append(order, "ev2") })
+	eng.Schedule(200*Nanosecond, func() { order = append(order, "later") })
+	eng.Run()
+	want := []string{"ev1", "ev2", "settle", "later"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	if hookAt != at {
+		t.Fatalf("hook ran at %v, want %v", hookAt, at)
+	}
+}
+
+// A hook's same-instant effects drain before the next hook runs, and a hook
+// registered by a hook runs after all previously registered ones.
+func TestSettleHookEffectsDrainBetweenHooks(t *testing.T) {
+	eng := NewEngine()
+	var order []string
+	eng.Schedule(10*Nanosecond, func() {
+		eng.Settle(func() {
+			order = append(order, "h1")
+			eng.Schedule(eng.Now(), func() { order = append(order, "h1-event") })
+			eng.Settle(func() { order = append(order, "h3") })
+		})
+		eng.Settle(func() { order = append(order, "h2") })
+	})
+	eng.Run()
+	want := []string{"h1", "h1-event", "h2", "h3"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+// Hooks belonging to the deadline instant run inside the bounded phase:
+// RunUntil must not return with a registered hook still pending.
+func TestSettleDrainsWithinRunUntil(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.Schedule(50*Nanosecond, func() {
+		eng.Settle(func() { fired = true })
+	})
+	eng.Schedule(80*Nanosecond, func() {})
+	eng.RunUntil(50 * Nanosecond)
+	if !fired {
+		t.Fatal("settle hook did not run within its instant's phase")
+	}
+	if eng.Now() != 50*Nanosecond {
+		t.Fatalf("clock at %v after RunUntil(50ns)", eng.Now())
+	}
+}
+
+// Arbiter grants one instant's joiners in ascending index order regardless
+// of join order, and processes resume at the join instant.
+func TestArbiterGrantsInIndexOrder(t *testing.T) {
+	eng := NewEngine()
+	arb := NewArbiter(eng)
+	var order []int
+	for _, i := range []int{3, 0, 2, 1} {
+		i := i
+		eng.Spawn("w", func(p *Proc) {
+			p.Sleep(10 * Nanosecond)
+			arb.Join(p, i)
+			if p.Now() != 10*Nanosecond {
+				t.Errorf("joiner %d resumed at %v", i, p.Now())
+			}
+			order = append(order, i)
+		})
+	}
+	eng.Run()
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("grant order %v, want %v", order, want)
+	}
+	eng.Shutdown()
+}
+
+// Joiners with equal indices keep their join order (the switch uses one
+// pseudo-index for all switch-sourced injections).
+func TestArbiterTiesKeepJoinOrder(t *testing.T) {
+	eng := NewEngine()
+	arb := NewArbiter(eng)
+	var order []int
+	for _, tag := range []int{10, 11, 12} {
+		tag := tag
+		eng.Spawn("w", func(p *Proc) {
+			p.Sleep(Nanosecond)
+			arb.Join(p, 7)
+			order = append(order, tag)
+		})
+	}
+	eng.Run()
+	if want := []int{10, 11, 12}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("tie order %v, want join order %v", order, want)
+	}
+	eng.Shutdown()
+}
+
+// A granted process may Join again at the same instant: the re-join arms a
+// fresh settle pass that grants it before the clock advances.
+func TestArbiterRejoinSameInstant(t *testing.T) {
+	eng := NewEngine()
+	arb := NewArbiter(eng)
+	var order []int
+	var rejoinAt Time
+	eng.Spawn("a", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		arb.Join(p, 1)
+		order = append(order, 1)
+		arb.Join(p, 5)
+		rejoinAt = p.Now()
+		order = append(order, 5)
+	})
+	eng.Spawn("b", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		arb.Join(p, 2)
+		order = append(order, 2)
+	})
+	eng.Run()
+	if want := []int{1, 2, 5}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	if rejoinAt != 10*Nanosecond {
+		t.Fatalf("re-join granted at %v, want the same instant", rejoinAt)
+	}
+	eng.Shutdown()
+}
+
+// Joins at different instants settle independently — an arbiter never holds
+// a process past its own instant.
+func TestArbiterInstantsIndependent(t *testing.T) {
+	eng := NewEngine()
+	arb := NewArbiter(eng)
+	var stamps []Time
+	for _, at := range []Time{10 * Nanosecond, 30 * Nanosecond} {
+		at := at
+		eng.Spawn("w", func(p *Proc) {
+			p.SleepUntil(at)
+			arb.Join(p, 0)
+			stamps = append(stamps, p.Now())
+		})
+	}
+	eng.Run()
+	if want := []Time{10 * Nanosecond, 30 * Nanosecond}; !reflect.DeepEqual(stamps, want) {
+		t.Fatalf("grant instants %v, want %v", stamps, want)
+	}
+	eng.Shutdown()
+}

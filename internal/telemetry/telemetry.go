@@ -11,6 +11,7 @@ package telemetry
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"activesan/internal/cluster"
@@ -54,13 +55,18 @@ type pathAccum struct {
 	ps      [san.NumHopKinds]int64
 }
 
-// Recorder collects one cluster's telemetry. It is not locked: a cluster's
-// simulation processes are cooperatively scheduled (one runs at a time), so
-// the recorder sees strictly ordered events — the same discipline every
-// component's private stats already rely on. Parallel sweep workers each
-// own a cluster and therefore a recorder.
+// Recorder collects one cluster's telemetry. A mutex guards the hook
+// paths: a partitioned cluster runs one engine per partition on parallel
+// goroutines during barrier windows, so a single recorder spanning all
+// ranks sees genuinely concurrent stamps and completions. Every recorder
+// operation commutes — counter adds, histogram bucket increments, keyed
+// map inserts — so the interleaving the lock serializes does not affect
+// the folded snapshot: Into stays byte-identical at any partition or
+// worker count. Accessors (Stamped, E2E, Into, ...) read without the
+// lock and must only be called once the simulation has quiesced.
 type Recorder struct {
-	c *cluster.Cluster
+	c  *cluster.Cluster
+	mu sync.Mutex
 
 	stamped   int64
 	completed int64
@@ -111,7 +117,9 @@ func (r *Recorder) Attach(c *cluster.Cluster) {
 // fabric.
 func (r *Recorder) Stamper() san.Stamper {
 	return func(origin sim.Time) *san.Stamp {
+		r.mu.Lock()
 		r.stamped++
+		r.mu.Unlock()
 		return &san.Stamp{Origin: origin}
 	}
 }
@@ -121,6 +129,8 @@ func (r *Recorder) Stamper() san.Stamper {
 // are skipped.
 func (r *Recorder) Completer() san.Completer {
 	return func(st *san.Stamp, done sim.Time, typ san.Type) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		r.completed++
 		e2e := int64(done - st.Origin)
 		r.e2e.Observe(e2e)
@@ -155,6 +165,8 @@ func (r *Recorder) Completer() san.Completer {
 // asynchronously on the switch CPU after the triggering packet's life ends,
 // so they land in per-handler histograms rather than on the packet's stamp.
 func (r *Recorder) HandlerDone(name string, dur sim.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.handlers[name]
 	if h == nil {
 		h = metrics.NewHist()
